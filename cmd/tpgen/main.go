@@ -1,0 +1,71 @@
+// Command tpgen generates random task-graph specifications in the
+// textual format consumed by tpsyn.
+//
+// Usage:
+//
+//	tpgen -paper 1            # benchmark graph 1 of the evaluation
+//	tpgen -tasks 8 -ops 30 -seed 7 -name mygraph
+//
+// The specification is written to stdout; use -dot for Graphviz
+// output instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchmarks"
+	"repro/internal/graph"
+	"repro/internal/randgraph"
+)
+
+func main() {
+	var (
+		paper = flag.Int("paper", 0, "emit benchmark graph 1..6 (overrides other options)")
+		bench = flag.String("bench", "", "emit a classic HLS kernel: ewf, fir16, diffeq or ar")
+		tasks = flag.Int("tasks", 5, "number of tasks")
+		ops   = flag.Int("ops", 20, "number of operations")
+		seed  = flag.Int64("seed", 1, "random seed")
+		name  = flag.String("name", "random", "graph name")
+		tep   = flag.Float64("tep", 0, "task edge probability (0 = default)")
+		oep   = flag.Float64("oep", 0, "op edge probability (0 = default)")
+		maxBW = flag.Int("maxbw", 0, "max task-edge bandwidth (0 = default)")
+		dot   = flag.Bool("dot", false, "emit Graphviz DOT instead of the spec format")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	if *bench != "" {
+		build, ok := benchmarks.All()[*bench]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tpgen: unknown benchmark %q\n", *bench)
+			os.Exit(1)
+		}
+		g = build()
+	} else if *paper > 0 {
+		g, err = randgraph.Paper(*paper)
+	} else {
+		g, err = randgraph.Generate(randgraph.Config{
+			Name:         *name,
+			Tasks:        *tasks,
+			Ops:          *ops,
+			TaskEdgeProb: *tep,
+			OpEdgeProb:   *oep,
+			MaxBandwidth: *maxBW,
+		}, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpgen:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+	if err := graph.Write(os.Stdout, g); err != nil {
+		fmt.Fprintln(os.Stderr, "tpgen:", err)
+		os.Exit(1)
+	}
+}

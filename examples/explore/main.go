@@ -1,0 +1,103 @@
+// Design-space exploration: sweep the latency relaxation, segment
+// count and functional-unit mix for one specification, and rank the
+// feasible designs by modeled wall-clock time on the device (compute +
+// reconfiguration + store/restore) — the trade-off Table 3 of the
+// paper explores with the Var/Const/RunTime columns.
+//
+// Run with: go run ./examples/explore
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/rpsim"
+)
+
+// kernel builds a two-phase arithmetic kernel: a multiply-heavy front
+// end feeding an accumulate/normalize back end.
+func kernel() *graph.Graph {
+	g := graph.New("explore")
+	front := g.AddTask("front")
+	var prods [4]int
+	for i := range prods {
+		prods[i] = g.AddOp(front, graph.OpMul, fmt.Sprintf("p%d", i))
+	}
+	back := g.AddTask("back")
+	acc1 := g.AddOp(back, graph.OpAdd, "acc1")
+	acc2 := g.AddOp(back, graph.OpAdd, "acc2")
+	acc := g.AddOp(back, graph.OpAdd, "acc")
+	norm := g.AddOp(back, graph.OpSub, "norm")
+	g.Connect(prods[0], acc1, 1)
+	g.Connect(prods[1], acc1, 1)
+	g.Connect(prods[2], acc2, 1)
+	g.Connect(prods[3], acc2, 1)
+	g.AddOpEdge(acc1, acc)
+	g.AddOpEdge(acc2, acc)
+	g.AddOpEdge(acc, norm)
+	return g
+}
+
+type design struct {
+	n, l, adders, muls, subs int
+	comm, segments           int
+	totalUS                  float64
+	nodes                    int
+}
+
+func main() {
+	g := kernel()
+	lib := library.DefaultLibrary()
+	dev := library.XC4010()
+
+	var feasible []design
+	fmt.Println(" N  L  A+M+S | feasible  comm  segs   runtime(model)")
+	for _, fu := range [][3]int{{1, 1, 1}, {2, 2, 1}, {1, 2, 1}} {
+		for n := 1; n <= 2; n++ {
+			for l := 0; l <= 2; l++ {
+				alloc, err := library.PaperAllocation(lib, fu[0], fu[1], fu[2])
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := core.SolveInstance(
+					core.Instance{Graph: g, Alloc: alloc, Device: dev},
+					core.Options{N: n, L: l, Tightened: true, TimeLimit: 30 * time.Second},
+				)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !res.Feasible {
+					fmt.Printf(" %d  %d  %d+%d+%d |   no\n", n, l, fu[0], fu[1], fu[2])
+					continue
+				}
+				_, tm, err := rpsim.Run(g, alloc, dev, res.Solution, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				d := design{
+					n: n, l: l, adders: fu[0], muls: fu[1], subs: fu[2],
+					comm: res.Solution.Comm, segments: res.Solution.UsedPartitions(),
+					totalUS: tm.TotalNS() / 1e3, nodes: res.Nodes,
+				}
+				feasible = append(feasible, d)
+				fmt.Printf(" %d  %d  %d+%d+%d |  yes      %4d  %4d   %10.2f us\n",
+					n, l, fu[0], fu[1], fu[2], d.comm, d.segments, d.totalUS)
+			}
+		}
+	}
+	if len(feasible) == 0 {
+		log.Fatal("no feasible design found")
+	}
+	best := feasible[0]
+	for _, d := range feasible[1:] {
+		if d.totalUS < best.totalUS {
+			best = d
+		}
+	}
+	fmt.Printf("\nbest design: N=%d L=%d with %d+%d+%d -> %.2f us (%d segments, comm %d)\n",
+		best.n, best.l, best.adders, best.muls, best.subs, best.totalUS, best.segments, best.comm)
+}

@@ -1,0 +1,80 @@
+// Classic HLS benchmarks through the temporal partitioning flow: the
+// elliptic wave filter, a 16-tap FIR, the HAL differential-equation
+// solver and the AR lattice — the kernels the high-level-synthesis
+// literature of the paper's era evaluated on. For each, the flow
+// estimates the number of segments, optimizes, and reports the design.
+//
+// Run with: go run ./examples/hlsbench
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/benchmarks"
+	"repro/internal/core"
+	"repro/internal/library"
+	"repro/internal/sched"
+)
+
+func main() {
+	lib := library.DefaultLibrary()
+	dev := library.XC4010()
+	names := make([]string, 0)
+	all := benchmarks.All()
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-8s %5s %4s %3s | %6s %6s | %8s %5s %5s %9s\n",
+		"kernel", "tasks", "ops", "CP", "Var", "Const", "feasible", "comm", "segs", "time")
+	for _, name := range names {
+		g := all[name]()
+		w, err := sched.ComputeWindows(g, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alloc, err := library.NewAllocation(lib, map[string]int{
+			"add16": 2, "sub16": 1, "mul16": 2, "cmp16": 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// the estimated N is an upper bound for the *optimum*, not a
+		// feasibility guarantee at tight L; widen N until feasible
+		est, err := core.EstimateN(core.Instance{Graph: g, Alloc: alloc, Device: dev})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		var res *core.Result
+		var m *core.Model
+		for n := est; n <= est+2; n++ {
+			m, err = core.Build(core.Instance{Graph: g, Alloc: alloc, Device: dev},
+				core.Options{N: n, L: 2, Tightened: true, ExactSweep: true,
+					TimeLimit: 60 * time.Second})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res, err = m.Solve(); err != nil {
+				log.Fatal(err)
+			}
+			if res.Feasible {
+				break
+			}
+		}
+		el := time.Since(start).Round(time.Millisecond)
+		st := m.Stats()
+		if !res.Feasible {
+			fmt.Printf("%-8s %5d %4d %3d | %6d %6d | %8s %5s %5s %9v\n",
+				name, g.NumTasks(), g.NumOps(), w.CriticalPath, st.Vars, st.Rows, "no", "-", "-", el)
+			continue
+		}
+		fmt.Printf("%-8s %5d %4d %3d | %6d %6d | %8s %5d %5d %9v\n",
+			name, g.NumTasks(), g.NumOps(), w.CriticalPath, st.Vars, st.Rows,
+			"yes", res.Solution.Comm, res.Solution.UsedPartitions(), el)
+	}
+}

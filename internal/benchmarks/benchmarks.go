@@ -1,0 +1,219 @@
+// Package benchmarks provides classic high-level-synthesis benchmark
+// dataflow graphs from the literature the paper belongs to, expressed
+// as task graphs for the temporal partitioning system. They complement
+// the seeded random graphs of internal/randgraph with real kernels:
+//
+//   - EWF: the fifth-order elliptic wave filter (34 ops), the standard
+//     HLS scheduling benchmark of the era,
+//   - FIR16: a 16-tap transposed FIR filter,
+//   - Diffeq: the HAL differential-equation solver (Paulin & Knight),
+//   - AR: the auto-regressive lattice filter (28 ops).
+//
+// Each builder groups the kernel into tasks along its natural pipeline
+// stages so that temporal partitioning has meaningful cut points.
+package benchmarks
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// EWF builds the fifth-order elliptic wave filter. The classic graph
+// has 26 additions and 8 multiplications; tasks follow the four
+// sections of the ladder structure. Cross-task bandwidths are one data
+// unit per crossing value.
+func EWF() *graph.Graph {
+	g := graph.New("ewf")
+	// sections of the wave filter ladder
+	sec := make([]int, 4)
+	for i := range sec {
+		sec[i] = g.AddTask(fmt.Sprintf("section%d", i))
+	}
+	add := func(t int, label string) int { return g.AddOp(t, graph.OpAdd, label) }
+	mul := func(t int, label string) int { return g.AddOp(t, graph.OpMul, label) }
+
+	// Section 0: input adder chain
+	a1 := add(sec[0], "a1")
+	a2 := add(sec[0], "a2")
+	m1 := mul(sec[0], "m1")
+	a3 := add(sec[0], "a3")
+	a4 := add(sec[0], "a4")
+	g.AddOpEdge(a1, a2)
+	g.AddOpEdge(a2, m1)
+	g.AddOpEdge(m1, a3)
+	g.AddOpEdge(a3, a4)
+
+	// Section 1: first biquad-like block
+	a5 := add(sec[1], "a5")
+	m2 := mul(sec[1], "m2")
+	a6 := add(sec[1], "a6")
+	a7 := add(sec[1], "a7")
+	m3 := mul(sec[1], "m3")
+	a8 := add(sec[1], "a8")
+	a9 := add(sec[1], "a9")
+	a10 := add(sec[1], "a10")
+	g.Connect(a4, a5, 1)
+	g.Connect(a2, a6, 1)
+	g.AddOpEdge(a5, m2)
+	g.AddOpEdge(m2, a7)
+	g.AddOpEdge(a6, a7)
+	g.AddOpEdge(a7, m3)
+	g.AddOpEdge(m3, a8)
+	g.AddOpEdge(a8, a9)
+	g.AddOpEdge(a6, a10)
+	g.AddOpEdge(a9, a10)
+
+	// Section 2: second block
+	a11 := add(sec[2], "a11")
+	a12 := add(sec[2], "a12")
+	m4 := mul(sec[2], "m4")
+	a13 := add(sec[2], "a13")
+	m5 := mul(sec[2], "m5")
+	a14 := add(sec[2], "a14")
+	a15 := add(sec[2], "a15")
+	a16 := add(sec[2], "a16")
+	a17 := add(sec[2], "a17")
+	g.Connect(a10, a11, 1)
+	g.Connect(a8, a12, 1)
+	g.AddOpEdge(a11, m4)
+	g.AddOpEdge(a12, a13)
+	g.AddOpEdge(m4, a13)
+	g.AddOpEdge(a13, m5)
+	g.AddOpEdge(m5, a14)
+	g.AddOpEdge(a14, a15)
+	g.AddOpEdge(a12, a16)
+	g.AddOpEdge(a14, a16)
+	g.AddOpEdge(a15, a17)
+	g.AddOpEdge(a16, a17)
+
+	// Section 3: output block — two parallel scaled branches merged by
+	// an adder tree, reflecting the width of the real wave filter
+	a18 := add(sec[3], "a18")
+	m6 := mul(sec[3], "m6")
+	a19 := add(sec[3], "a19")
+	m7 := mul(sec[3], "m7")
+	a20 := add(sec[3], "a20")
+	m8 := mul(sec[3], "m8")
+	a21 := add(sec[3], "a21")
+	a22 := add(sec[3], "a22")
+	a23 := add(sec[3], "a23")
+	a24 := add(sec[3], "a24")
+	a25 := add(sec[3], "a25")
+	a26 := add(sec[3], "a26")
+	g.Connect(a17, a18, 1)
+	g.Connect(a15, a19, 1)
+	g.Connect(a16, a21, 1)
+	// branch 1: a18 -> m6 -> a19 -> m7 -> a20
+	g.AddOpEdge(a18, m6)
+	g.AddOpEdge(m6, a19)
+	g.AddOpEdge(a19, m7)
+	g.AddOpEdge(m7, a20)
+	// branch 2 (parallel): a21 -> m8 -> a22 -> a23
+	g.AddOpEdge(a21, m8)
+	g.AddOpEdge(m8, a22)
+	g.AddOpEdge(a22, a23)
+	// merge tree
+	g.AddOpEdge(a20, a24)
+	g.AddOpEdge(a23, a24)
+	g.AddOpEdge(a24, a25)
+	g.AddOpEdge(a25, a26)
+	return g
+}
+
+// FIR16 builds a 16-tap transposed-form FIR filter: 16 coefficient
+// multiplications feeding an accumulation chain, grouped into four
+// 4-tap tasks.
+func FIR16() *graph.Graph {
+	g := graph.New("fir16")
+	var lastSum int = -1
+	for blk := 0; blk < 4; blk++ {
+		t := g.AddTask(fmt.Sprintf("taps%d_%d", blk*4, blk*4+3))
+		var sums []int
+		for i := 0; i < 4; i++ {
+			m := g.AddOp(t, graph.OpMul, fmt.Sprintf("m%d", blk*4+i))
+			s := g.AddOp(t, graph.OpAdd, fmt.Sprintf("s%d", blk*4+i))
+			g.AddOpEdge(m, s)
+			if len(sums) > 0 {
+				g.AddOpEdge(sums[len(sums)-1], s)
+			}
+			sums = append(sums, s)
+		}
+		if lastSum >= 0 {
+			g.Connect(lastSum, sums[0], 1)
+		}
+		lastSum = sums[len(sums)-1]
+	}
+	return g
+}
+
+// Diffeq builds the HAL differential-equation benchmark (Paulin &
+// Knight): the loop body computing x' = x + dx, u' and y' with 6
+// multiplications, 2 additions, 2 subtractions and a comparison,
+// split into a multiply-heavy task and an update task.
+func Diffeq() *graph.Graph {
+	g := graph.New("diffeq")
+	tm := g.AddTask("products")
+	tu := g.AddTask("update")
+
+	m1 := g.AddOp(tm, graph.OpMul, "3*x")
+	m2 := g.AddOp(tm, graph.OpMul, "u*dx")
+	m3 := g.AddOp(tm, graph.OpMul, "3*y")
+	m4 := g.AddOp(tm, graph.OpMul, "m1*m2")
+	m5 := g.AddOp(tm, graph.OpMul, "dx*m3")
+	m6 := g.AddOp(tm, graph.OpMul, "u*dx2")
+	g.AddOpEdge(m1, m4)
+	g.AddOpEdge(m2, m4)
+	g.AddOpEdge(m3, m5)
+
+	s1 := g.AddOp(tu, graph.OpSub, "u-m4")
+	s2 := g.AddOp(tu, graph.OpSub, "s1-m5")
+	a1 := g.AddOp(tu, graph.OpAdd, "x+dx")
+	a2 := g.AddOp(tu, graph.OpAdd, "y+m6")
+	c1 := g.AddOp(tu, graph.OpCmp, "x<a")
+	g.Connect(m4, s1, 1)
+	g.Connect(m5, s2, 1)
+	g.AddOpEdge(s1, s2)
+	g.Connect(m6, a2, 1)
+	g.AddOpEdge(a1, c1)
+	return g
+}
+
+// AR builds the auto-regressive lattice filter benchmark: 16
+// multiplications and 12 additions in four lattice stages.
+func AR() *graph.Graph {
+	g := graph.New("ar")
+	prevOut := make([]int, 0, 2)
+	for stage := 0; stage < 4; stage++ {
+		t := g.AddTask(fmt.Sprintf("stage%d", stage))
+		m1 := g.AddOp(t, graph.OpMul, fmt.Sprintf("k%d_f", stage))
+		m2 := g.AddOp(t, graph.OpMul, fmt.Sprintf("k%d_b", stage))
+		m3 := g.AddOp(t, graph.OpMul, fmt.Sprintf("q%d_f", stage))
+		m4 := g.AddOp(t, graph.OpMul, fmt.Sprintf("q%d_b", stage))
+		a1 := g.AddOp(t, graph.OpAdd, fmt.Sprintf("f%d", stage))
+		a2 := g.AddOp(t, graph.OpAdd, fmt.Sprintf("b%d", stage))
+		a3 := g.AddOp(t, graph.OpAdd, fmt.Sprintf("o%d", stage))
+		g.AddOpEdge(m1, a1)
+		g.AddOpEdge(m2, a2)
+		g.AddOpEdge(m3, a3)
+		g.AddOpEdge(m4, a3)
+		if len(prevOut) == 2 {
+			g.Connect(prevOut[0], m1, 1)
+			g.Connect(prevOut[0], m3, 1)
+			g.Connect(prevOut[1], m2, 1)
+			g.Connect(prevOut[1], m4, 1)
+		}
+		prevOut = []int{a1, a2}
+	}
+	return g
+}
+
+// All returns every benchmark builder keyed by name.
+func All() map[string]func() *graph.Graph {
+	return map[string]func() *graph.Graph{
+		"ewf":    EWF,
+		"fir16":  FIR16,
+		"diffeq": Diffeq,
+		"ar":     AR,
+	}
+}

@@ -1,0 +1,119 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/rpsim"
+	"repro/internal/sched"
+)
+
+func TestGraphsAreValid(t *testing.T) {
+	for name, build := range All() {
+		g := build()
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.NumOps() == 0 || g.NumTasks() < 2 {
+			t.Errorf("%s: degenerate graph (%d tasks, %d ops)", name, g.NumTasks(), g.NumOps())
+		}
+	}
+}
+
+func TestEWFShape(t *testing.T) {
+	g := EWF()
+	k := g.CountKinds()
+	if k[graph.OpAdd] != 26 || k[graph.OpMul] != 8 {
+		t.Fatalf("EWF kinds = %v, want 26 adds / 8 muls", k)
+	}
+	if g.NumOps() != 34 {
+		t.Fatalf("EWF ops = %d, want 34", g.NumOps())
+	}
+	w, err := sched.ComputeWindows(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the classic EWF critical path is long (>= 14 steps in the
+	// unit-latency model); our ladder reconstruction preserves that
+	if w.CriticalPath < 14 {
+		t.Fatalf("EWF CP = %d, want >= 14", w.CriticalPath)
+	}
+}
+
+func TestDiffeqShape(t *testing.T) {
+	g := Diffeq()
+	k := g.CountKinds()
+	if k[graph.OpMul] != 6 || k[graph.OpAdd] != 2 || k[graph.OpSub] != 2 || k[graph.OpCmp] != 1 {
+		t.Fatalf("diffeq kinds = %v", k)
+	}
+}
+
+func TestARShape(t *testing.T) {
+	g := AR()
+	k := g.CountKinds()
+	if k[graph.OpMul] != 16 || k[graph.OpAdd] != 12 {
+		t.Fatalf("AR kinds = %v, want 16 muls / 12 adds", k)
+	}
+}
+
+// Diffeq is small enough to optimize quickly end to end.
+func TestDiffeqSolves(t *testing.T) {
+	g := Diffeq()
+	alloc, err := library.NewAllocation(library.DefaultLibrary(), map[string]int{
+		"add16": 1, "sub16": 1, "mul16": 2, "cmp16": 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SolveInstance(
+		core.Instance{Graph: g, Alloc: alloc, Device: library.XC4010()},
+		core.Options{N: 2, L: 2, Tightened: true, ExactSweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("diffeq should be feasible")
+	}
+	// partitioned execution matches direct evaluation
+	inputs := map[int]int64{}
+	for i := 0; i < g.NumOps(); i++ {
+		if len(g.OpPred(i)) == 0 {
+			inputs[i] = int64(2 + i)
+		}
+	}
+	want, err := rpsim.Direct(g, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := rpsim.Run(g, alloc, library.XC4010(), res.Solution, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+// FIR16 with a single multiplier needs 16 multiplier steps; the
+// estimate and windows must reflect that.
+func TestFIR16Pressure(t *testing.T) {
+	g := FIR16()
+	if g.NumOps() != 32 {
+		t.Fatalf("ops = %d, want 32", g.NumOps())
+	}
+	w, err := sched.ComputeWindows(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := g.CountKinds()
+	if k[graph.OpMul] != 16 {
+		t.Fatalf("muls = %d", k[graph.OpMul])
+	}
+	if w.CriticalPath < 16 {
+		t.Fatalf("CP = %d, want >= 16 (accumulation chain)", w.CriticalPath)
+	}
+}

@@ -1,0 +1,581 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// emitConstraints adds every constraint family of the final model
+// (Section 6 of the paper): (1), (2), (3), (6), (7), (8), (11), (12),
+// (13), the product linearizations (19)-(23) or their Fortet
+// equivalents, (26), (27), the w linearization (31) or the exact
+// per-product (4)-(5), and — when Tightened — the cuts (28), (29),
+// (30), (32).
+func (m *Model) emitConstraints() error {
+	emit := []func() error{
+		m.addUniqueness,     // (1)
+		m.addTemporalOrder,  // (2)
+		m.addMemoryCapacity, // (3) — uses w columns
+		m.addOpAssignment,   // (6)
+		m.addFUConflicts,    // (7)
+		m.addDependencies,   // (8)
+		m.addResourceCap,    // (11)
+		m.addStepOwnership,  // (12) + (13)
+		m.addZLinearization, // (19)-(21) / Fortet
+		m.addULinks,         // (22) + (23, sign-corrected)
+		m.addFUUsage,        // (26) + (27)
+		m.addWConstraints,   // (31) or (4)-(5)
+	}
+	if m.Opt.Tightened {
+		emit = append(emit, m.addTightening) // (28)-(30) + (32)
+	}
+	for _, f := range emit {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// addUniqueness emits eq. (1): every task lands in exactly one
+// partition.
+func (m *Model) addUniqueness() error {
+	for t := 0; t < m.Inst.Graph.NumTasks(); t++ {
+		cols := make([]int, 0, m.N)
+		for p := 1; p <= m.N; p++ {
+			cols = append(cols, m.Y[[2]int{t, p}])
+		}
+		if err := m.P.AddEQ(fmt.Sprintf("uniq[t%d]", t), cols, ones(len(cols)), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addTemporalOrder emits eq. (2): a producer task may not be placed in
+// a later partition than a consumer.
+func (m *Model) addTemporalOrder() error {
+	for _, e := range m.Inst.Graph.TaskEdges() {
+		for p2 := 1; p2 <= m.N-1; p2++ {
+			cols := []int{m.Y[[2]int{e.To, p2}]}
+			for p1 := p2 + 1; p1 <= m.N; p1++ {
+				cols = append(cols, m.Y[[2]int{e.From, p1}])
+			}
+			name := fmt.Sprintf("order[%d->%d,p%d]", e.From, e.To, p2)
+			if err := m.P.AddLE(name, cols, ones(len(cols)), 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addMemoryCapacity emits eq. (3): data stored across each boundary
+// must fit the scratch memory.
+func (m *Model) addMemoryCapacity() error {
+	for p := 2; p <= m.N; p++ {
+		var cols []int
+		var coefs []float64
+		for _, e := range m.Inst.Graph.TaskEdges() {
+			cols = append(cols, m.W[[3]int{p, e.From, e.To}])
+			coefs = append(coefs, float64(e.Bandwidth))
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("mem[p%d]", p)
+		if err := m.P.AddLE(name, cols, coefs, float64(m.Inst.Device.ScratchMem)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addOpAssignment emits eq. (6): each op gets exactly one (step, FU).
+func (m *Model) addOpAssignment() error {
+	for i := 0; i < m.Inst.Graph.NumOps(); i++ {
+		var cols []int
+		for _, j := range m.cs[i] {
+			for _, k := range m.fu[i] {
+				if col, ok := m.X[[3]int{i, j, k}]; ok {
+					cols = append(cols, col)
+				}
+			}
+		}
+		if len(cols) == 0 {
+			return fmt.Errorf("core: op %d has no feasible (step, FU) pair; increase L", i)
+		}
+		if err := m.P.AddEQ(fmt.Sprintf("assign[i%d]", i), cols, ones(len(cols)), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addFUConflicts emits eq. (7) — corrected to per (step, FU): at most
+// one op occupies a unit at any control step. Non-pipelined multicycle
+// units occupy every step of their latency; pipelined units only the
+// issue slot.
+func (m *Model) addFUConflicts() error {
+	alloc := m.Inst.Alloc
+	for k := 0; k < alloc.NumUnits(); k++ {
+		pipelined := alloc.Unit(k).Type.Pipelined
+		byStep := map[int][]int{}
+		for key, col := range m.X {
+			if key[2] != k {
+				continue
+			}
+			if pipelined {
+				byStep[key[1]] = append(byStep[key[1]], col)
+				continue
+			}
+			for _, jj := range m.occ[col] {
+				byStep[jj] = append(byStep[jj], col)
+			}
+		}
+		steps := sortedKeys(toSet(byStep))
+		for _, jj := range steps {
+			cols := byStep[jj]
+			if len(cols) < 2 {
+				continue
+			}
+			sort.Ints(cols)
+			name := fmt.Sprintf("fu[k%d,j%d]", k, jj)
+			if err := m.P.AddLE(name, cols, ones(len(cols)), 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func toSet(m map[int][]int) map[int]bool {
+	s := make(map[int]bool, len(m))
+	for k := range m {
+		s[k] = true
+	}
+	return s
+}
+
+// addDependencies emits eq. (8): for every operation dependency
+// i1 -> i2, forbid schedules where i2 starts before i1 finishes.
+// Producer columns are grouped by FU latency so the multicycle
+// extension reuses the same emission.
+func (m *Model) addDependencies() error {
+	for _, e := range m.Inst.Graph.OpEdges() {
+		// group producer units by latency
+		byLat := map[int][]int{}
+		for _, k1 := range m.fu[e.From] {
+			byLat[m.latOf(k1)] = append(byLat[m.latOf(k1)], k1)
+		}
+		lats := sortedKeys(toSetInt(byLat))
+		for _, lam := range lats {
+			units := byLat[lam]
+			for _, j1 := range m.cs[e.From] {
+				var prodCols []int
+				for _, k1 := range units {
+					if col, ok := m.X[[3]int{e.From, j1, k1}]; ok {
+						prodCols = append(prodCols, col)
+					}
+				}
+				if len(prodCols) == 0 {
+					continue
+				}
+				for _, j2 := range m.cs[e.To] {
+					if j2 >= j1+lam {
+						continue // legal placement
+					}
+					var consCols []int
+					for _, k2 := range m.fu[e.To] {
+						if col, ok := m.X[[3]int{e.To, j2, k2}]; ok {
+							consCols = append(consCols, col)
+						}
+					}
+					if len(consCols) == 0 {
+						continue
+					}
+					cols := append(append([]int{}, prodCols...), consCols...)
+					name := fmt.Sprintf("dep[%d@%d->%d@%d,l%d]", e.From, j1, e.To, j2, lam)
+					if err := m.P.AddLE(name, cols, ones(len(cols)), 1); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func toSetInt(m map[int][]int) map[int]bool {
+	s := make(map[int]bool, len(m))
+	for k := range m {
+		s[k] = true
+	}
+	return s
+}
+
+// addResourceCap emits eq. (11): alpha-scaled FG area of the units
+// used in each partition must fit the device.
+func (m *Model) addResourceCap() error {
+	alloc, dev := m.Inst.Alloc, m.Inst.Device
+	for p := 1; p <= m.N; p++ {
+		var cols []int
+		var coefs []float64
+		for k := 0; k < alloc.NumUnits(); k++ {
+			cols = append(cols, m.U[[2]int{p, k}])
+			coefs = append(coefs, dev.Alpha*float64(alloc.Unit(k).Type.FG))
+		}
+		name := fmt.Sprintf("cap[p%d]", p)
+		if err := m.P.AddLE(name, cols, coefs, float64(dev.CapacityFG)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addStepOwnership emits eq. (12) — c_tj is forced to 1 when any op of
+// task t occupies step j — and eq. (13): tasks sharing a control step
+// must share a partition.
+func (m *Model) addStepOwnership() error {
+	g := m.Inst.Graph
+	nt := g.NumTasks()
+	// (12), grouped per (op, occupied step): c_tj >= sum_k x (the sum
+	// over one op's placements covering j is at most 1 by eq. 6)
+	for t := 0; t < nt; t++ {
+		for _, i := range g.Task(t).Ops {
+			byStep := map[int][]int{}
+			for _, j := range m.cs[i] {
+				for _, k := range m.fu[i] {
+					col, ok := m.X[[3]int{i, j, k}]
+					if !ok {
+						continue
+					}
+					for _, jj := range m.occ[col] {
+						byStep[jj] = append(byStep[jj], col)
+					}
+				}
+			}
+			steps := sortedKeys(toSet(byStep))
+			for _, jj := range steps {
+				xcols := byStep[jj]
+				sort.Ints(xcols)
+				cols := append([]int{m.C[[2]int{t, jj}]}, xcols...)
+				coefs := make([]float64, len(cols))
+				coefs[0] = 1
+				for c := 1; c < len(coefs); c++ {
+					coefs[c] = -1
+				}
+				name := fmt.Sprintf("cdef[t%d,i%d,j%d]", t, i, jj)
+				if err := m.P.AddGE(name, cols, coefs, 0); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// (13): c_t1j + y_t1p1 + c_t2j + y_t2p2 <= 3 for t1 < t2 sharing
+	// step j and ordered partition pairs p1 != p2
+	for t1 := 0; t1 < nt; t1++ {
+		for t2 := t1 + 1; t2 < nt; t2++ {
+			shared := intersectSorted(m.cSteps[t1], m.cSteps[t2])
+			for _, j := range shared {
+				c1 := m.C[[2]int{t1, j}]
+				c2 := m.C[[2]int{t2, j}]
+				for p1 := 1; p1 <= m.N; p1++ {
+					for p2 := 1; p2 <= m.N; p2++ {
+						if p1 == p2 {
+							continue
+						}
+						cols := []int{c1, m.Y[[2]int{t1, p1}], c2, m.Y[[2]int{t2, p2}]}
+						name := fmt.Sprintf("own[t%d,t%d,j%d,p%d,p%d]", t1, t2, j, p1, p2)
+						if err := m.P.AddLE(name, cols, ones(4), 3); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// addZLinearization emits the product linearization z_ptk = y_tp*o_tk:
+// Glover (19)-(21) or Fortet (15)-(16).
+func (m *Model) addZLinearization() error {
+	for p := 1; p <= m.N; p++ {
+		for t := 0; t < m.Inst.Graph.NumTasks(); t++ {
+			for _, k := range m.oPairs[t] {
+				y := m.Y[[2]int{t, p}]
+				o := m.O[[2]int{t, k}]
+				z := m.Z[[3]int{p, t, k}]
+				tag := fmt.Sprintf("p%d,t%d,k%d", p, t, k)
+				// (19)/(15): y + o - z <= 1
+				if err := m.P.AddLE("zlo["+tag+"]", []int{y, o, z}, []float64{1, 1, -1}, 1); err != nil {
+					return err
+				}
+				if m.Opt.Linearization == LinGlover {
+					// (20): z <= o, (21): z <= y
+					if err := m.P.AddLE("zo["+tag+"]", []int{z, o}, []float64{1, -1}, 0); err != nil {
+						return err
+					}
+					if err := m.P.AddLE("zy["+tag+"]", []int{z, y}, []float64{1, -1}, 0); err != nil {
+						return err
+					}
+				} else {
+					// (16): 2z - y - o <= 0
+					if err := m.P.AddLE("zhi["+tag+"]", []int{z, y, o}, []float64{2, -1, -1}, 0); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// addULinks emits eq. (22), u_pk >= z_ptk, and eq. (23) with the sign
+// corrected so that partitions may share units: u_pk <= sum_t z_ptk
+// (the role eq. (10) plays in the nonlinear model — u must be
+// witnessed by at least one task).
+func (m *Model) addULinks() error {
+	nt := m.Inst.Graph.NumTasks()
+	for p := 1; p <= m.N; p++ {
+		for k := 0; k < m.Inst.Alloc.NumUnits(); k++ {
+			u := m.U[[2]int{p, k}]
+			var zcols []int
+			for t := 0; t < nt; t++ {
+				if z, ok := m.Z[[3]int{p, t, k}]; ok {
+					zcols = append(zcols, z)
+					// (22): z - u <= 0
+					name := fmt.Sprintf("uz[p%d,t%d,k%d]", p, t, k)
+					if err := m.P.AddLE(name, []int{z, u}, []float64{1, -1}, 0); err != nil {
+						return err
+					}
+				}
+			}
+			// (23): u - sum_t z <= 0
+			cols := append([]int{u}, zcols...)
+			coefs := make([]float64, len(cols))
+			coefs[0] = 1
+			for c := 1; c < len(coefs); c++ {
+				coefs[c] = -1
+			}
+			name := fmt.Sprintf("uwit[p%d,k%d]", p, k)
+			if err := m.P.AddLE(name, cols, coefs, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addFUUsage emits the o_tk derivation: eq. (26) strengthened to one
+// row per (op, unit) — o_tk >= sum_j x_ijk, valid because eq. (6)
+// bounds the sum by 1 — and eq. (27): o_tk <= total x of the task on k.
+func (m *Model) addFUUsage() error {
+	g := m.Inst.Graph
+	for t := 0; t < g.NumTasks(); t++ {
+		for _, k := range m.oPairs[t] {
+			o := m.O[[2]int{t, k}]
+			var all []int
+			for _, i := range g.Task(t).Ops {
+				var cols []int
+				for _, j := range m.cs[i] {
+					if col, ok := m.X[[3]int{i, j, k}]; ok {
+						cols = append(cols, col)
+					}
+				}
+				if len(cols) == 0 {
+					continue
+				}
+				all = append(all, cols...)
+				// (26, grouped): o - sum_j x_ijk >= 0
+				rc := append([]int{o}, cols...)
+				coefs := make([]float64, len(rc))
+				coefs[0] = 1
+				for c := 1; c < len(coefs); c++ {
+					coefs[c] = -1
+				}
+				name := fmt.Sprintf("ousage[t%d,i%d,k%d]", t, i, k)
+				if err := m.P.AddGE(name, rc, coefs, 0); err != nil {
+					return err
+				}
+			}
+			// (27): sum_{i,j} x - o >= 0
+			rc := append([]int{o}, all...)
+			coefs := make([]float64, len(rc))
+			coefs[0] = -1
+			for c := 1; c < len(coefs); c++ {
+				coefs[c] = 1
+			}
+			name := fmt.Sprintf("owit[t%d,k%d]", t, k)
+			if err := m.P.AddGE(name, rc, coefs, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addWConstraints emits the w linearization: the compact eq. (31) —
+// w_p >= sum_{p1<p} y_t1p1 + sum_{p2>=p} y_t2p2 - 1 — or, with
+// WPerProduct, the exact per-product eqs. (4)-(5).
+func (m *Model) addWConstraints() error {
+	g := m.Inst.Graph
+	if !m.Opt.WPerProduct {
+		for p := 2; p <= m.N; p++ {
+			for _, e := range g.TaskEdges() {
+				w := m.W[[3]int{p, e.From, e.To}]
+				cols := []int{w}
+				coefs := []float64{-1}
+				for p1 := 1; p1 < p; p1++ {
+					cols = append(cols, m.Y[[2]int{e.From, p1}])
+					coefs = append(coefs, 1)
+				}
+				for p2 := p; p2 <= m.N; p2++ { // paper prints p2 < N; Figure 4 shows p2 <= N
+					cols = append(cols, m.Y[[2]int{e.To, p2}])
+					coefs = append(coefs, 1)
+				}
+				name := fmt.Sprintf("wlin[p%d,%d->%d]", p, e.From, e.To)
+				if err := m.P.AddLE(name, cols, coefs, 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// per-product: v = y_t1p1 * y_t2p2 linearized, then (5):
+	// sum_{p1<p<=p2} v = w_p
+	for _, e := range g.TaskEdges() {
+		for p1 := 1; p1 < m.N; p1++ {
+			y1 := m.Y[[2]int{e.From, p1}]
+			for p2 := p1 + 1; p2 <= m.N; p2++ {
+				y2 := m.Y[[2]int{e.To, p2}]
+				v := m.Prod[[4]int{e.From, e.To, p1, p2}]
+				tag := fmt.Sprintf("%d@p%d,%d@p%d", e.From, p1, e.To, p2)
+				if err := m.P.AddLE("vlo["+tag+"]", []int{y1, y2, v}, []float64{1, 1, -1}, 1); err != nil {
+					return err
+				}
+				if m.Opt.Linearization == LinGlover {
+					if err := m.P.AddLE("v1["+tag+"]", []int{v, y1}, []float64{1, -1}, 0); err != nil {
+						return err
+					}
+					if err := m.P.AddLE("v2["+tag+"]", []int{v, y2}, []float64{1, -1}, 0); err != nil {
+						return err
+					}
+				} else {
+					if err := m.P.AddLE("vhi["+tag+"]", []int{v, y1, y2}, []float64{2, -1, -1}, 0); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	for p := 2; p <= m.N; p++ {
+		for _, e := range g.TaskEdges() {
+			w := m.W[[3]int{p, e.From, e.To}]
+			cols := []int{w}
+			coefs := []float64{-1}
+			for p1 := 1; p1 < p; p1++ {
+				for p2 := p; p2 <= m.N; p2++ {
+					cols = append(cols, m.Prod[[4]int{e.From, e.To, p1, p2}])
+					coefs = append(coefs, 1)
+				}
+			}
+			name := fmt.Sprintf("wsum[p%d,%d->%d]", p, e.From, e.To)
+			if err := m.P.AddEQ(name, cols, coefs, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addTightening emits the cuts of Section 6: (28), (29) with the
+// off-by-one corrected to p < p1, (30), and (32).
+func (m *Model) addTightening() error {
+	g := m.Inst.Graph
+	cuts := m.Opt.Cuts
+	for _, e := range g.TaskEdges() {
+		for p1 := 2; p1 <= m.N; p1++ {
+			w := m.W[[3]int{p1, e.From, e.To}]
+			if cuts.Has(Cut28) {
+				// (28): w_p1 + sum_{p1<=p<=N} y_t1p <= 1
+				cols := []int{w}
+				for p := p1; p <= m.N; p++ {
+					cols = append(cols, m.Y[[2]int{e.From, p}])
+				}
+				name := fmt.Sprintf("t28[p%d,%d->%d]", p1, e.From, e.To)
+				if err := m.P.AddLE(name, cols, ones(len(cols)), 1); err != nil {
+					return err
+				}
+			}
+			if cuts.Has(Cut29) {
+				// (29): w_p1 + sum_{1<=p<p1} y_t2p <= 1
+				cols := []int{w}
+				for p := 1; p < p1; p++ {
+					cols = append(cols, m.Y[[2]int{e.To, p}])
+				}
+				name := fmt.Sprintf("t29[p%d,%d->%d]", p1, e.From, e.To)
+				if err := m.P.AddLE(name, cols, ones(len(cols)), 1); err != nil {
+					return err
+				}
+			}
+		}
+		if cuts.Has(Cut30) {
+			// (30): both tasks in partition p silence every other boundary
+			for p := 2; p <= m.N; p++ {
+				for p1 := 2; p1 <= m.N; p1++ {
+					if p1 == p {
+						continue
+					}
+					cols := []int{m.Y[[2]int{e.From, p}], m.Y[[2]int{e.To, p}], m.W[[3]int{p1, e.From, e.To}]}
+					name := fmt.Sprintf("t30[p%d,p%d,%d->%d]", p, p1, e.From, e.To)
+					if err := m.P.AddLE(name, cols, ones(3), 2); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if cuts.Has(Cut32) {
+		// (32): o_tk + y_tp - u_pk <= 1
+		for t := 0; t < g.NumTasks(); t++ {
+			for _, k := range m.oPairs[t] {
+				for p := 1; p <= m.N; p++ {
+					cols := []int{m.O[[2]int{t, k}], m.Y[[2]int{t, p}], m.U[[2]int{p, k}]}
+					name := fmt.Sprintf("t32[t%d,k%d,p%d]", t, k, p)
+					if err := m.P.AddLE(name, cols, []float64{1, 1, -1}, 1); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// TestOperationGranularityPartitioning exercises the paper's Section 3
+// remark: "if it is desired to permit splitting of tasks across
+// segments, then each operation in the specification may be modeled as
+// a task... the entire formulation will work correctly."
+func TestOperationGranularityPartitioning(t *testing.T) {
+	// one big task whose ops need two FU kinds that cannot coexist on
+	// the device: as a single task it is unsolvable, exploded it splits
+	g := graph.New("big")
+	t0 := g.AddTask("all")
+	a := g.AddOp(t0, graph.OpAdd, "a")
+	b := g.AddOp(t0, graph.OpAdd, "b")
+	m1 := g.AddOp(t0, graph.OpMul, "m1")
+	m2 := g.AddOp(t0, graph.OpMul, "m2")
+	g.AddOpEdge(a, m1)
+	g.AddOpEdge(b, m2)
+
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// adder (16) or multiplier (96) alone fits, together (112) they do
+	// not
+	dev := library.Device{Name: "tiny", CapacityFG: 100, Alpha: 1.0, ScratchMem: 64}
+	inst := Instance{Graph: g, Alloc: alloc, Device: dev}
+
+	// task-granularity: the single task cannot fit any partition
+	res, err := SolveInstance(inst, Options{N: 2, L: 2, Tightened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("monolithic task should be infeasible on the tiny device")
+	}
+
+	// op-granularity: explode and re-solve; adds go to segment 1,
+	// muls to segment 2, paying 2 units of communication
+	eg := g.Explode(1)
+	if err := eg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	einst := Instance{Graph: eg, Alloc: alloc, Device: dev}
+	eres, err := SolveInstance(einst, Options{N: 2, L: 2, Tightened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eres.Feasible {
+		t.Fatal("exploded graph should be feasible")
+	}
+	if eres.Solution.UsedPartitions() != 2 {
+		t.Fatalf("used = %d, want 2", eres.Solution.UsedPartitions())
+	}
+	if eres.Solution.Comm != 2 {
+		t.Fatalf("comm = %d, want 2 (one unit per add->mul edge)", eres.Solution.Comm)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// multicycle fixture: chain mul -> add with a 2-cycle multiplier.
+func mcAlloc(t *testing.T, mulType string) *library.Allocation {
+	t.Helper()
+	alloc, err := library.NewAllocation(library.DefaultLibrary(), map[string]int{
+		mulType: 1, "add16": 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alloc
+}
+
+func TestMulticycleLatencyRespected(t *testing.T) {
+	g := graph.New("mc")
+	tk := g.AddTask("t")
+	m := g.AddOp(tk, graph.OpMul, "")
+	a := g.AddOp(tk, graph.OpAdd, "")
+	g.AddOpEdge(m, a)
+	alloc := mcAlloc(t, "mul16x2")
+	inst := Instance{Graph: g, Alloc: alloc, Device: library.XC4025()}
+	res, err := SolveInstance(inst, Options{N: 1, L: 0, Multicycle: true, Tightened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("expected feasible (CP = 3 with 2-cycle mul)")
+	}
+	s := res.Solution
+	// add must start 2 steps after the multiply
+	if s.OpStep[a]-s.OpStep[m] < 2 {
+		t.Fatalf("latency violated: mul@%d add@%d", s.OpStep[m], s.OpStep[a])
+	}
+}
+
+func TestMulticycleBlockingSerializes(t *testing.T) {
+	// two independent muls on one 2-cycle blocking multiplier need 4
+	// steps; with L=0 the window is only 2 steps -> infeasible.
+	g := graph.New("mc2")
+	tk := g.AddTask("t")
+	g.AddOp(tk, graph.OpMul, "")
+	g.AddOp(tk, graph.OpMul, "")
+	alloc := mcAlloc(t, "mul16x2")
+	inst := Instance{Graph: g, Alloc: alloc, Device: library.XC4025()}
+	res, err := SolveInstance(inst, Options{N: 1, L: 0, Multicycle: true, Tightened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("two blocking muls cannot fit 2 steps")
+	}
+	// with L=2 there are 4 steps: feasible
+	res, err = SolveInstance(inst, Options{N: 1, L: 2, Multicycle: true, Tightened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("expected feasible at L=2")
+	}
+}
+
+func TestPipelinedOverlapAllowed(t *testing.T) {
+	// two independent muls on one 2-stage pipelined multiplier can
+	// issue back to back: 3 steps total, so L=1 suffices.
+	g := graph.New("pipe")
+	tk := g.AddTask("t")
+	g.AddOp(tk, graph.OpMul, "")
+	g.AddOp(tk, graph.OpMul, "")
+	alloc := mcAlloc(t, "mul16p")
+	inst := Instance{Graph: g, Alloc: alloc, Device: library.XC4025()}
+	res, err := SolveInstance(inst, Options{N: 1, L: 1, Multicycle: true, Tightened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("pipelined multiplier should allow overlapped issue at L=1")
+	}
+	// the blocking variant needs 4 steps, so the same L=1 is infeasible
+	alloc2 := mcAlloc(t, "mul16x2")
+	res, err = SolveInstance(Instance{Graph: g, Alloc: alloc2, Device: library.XC4025()},
+		Options{N: 1, L: 1, Multicycle: true, Tightened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("blocking multiplier must not fit L=1")
+	}
+}
+
+// TestHeterogeneousMulExploration exercises the design exploration the
+// paper highlights against Gebotys' model: a pipelined and a
+// non-pipelined multiplier in the same design.
+func TestHeterogeneousMulExploration(t *testing.T) {
+	g := graph.New("hetero")
+	tk := g.AddTask("t")
+	for i := 0; i < 3; i++ {
+		g.AddOp(tk, graph.OpMul, "")
+	}
+	alloc, err := library.NewAllocation(library.DefaultLibrary(), map[string]int{
+		"mul16x2": 1, "mul16p": 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := Instance{Graph: g, Alloc: alloc, Device: library.XC4025()}
+	// 3 muls, CP = 2 (all parallel, 2-cycle): L=1 -> 3 steps.
+	// pipelined unit can run two (issue 1,2), blocking unit one.
+	res, err := SolveInstance(inst, Options{N: 1, L: 1, Multicycle: true, Tightened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("heterogeneous multiplier mix should schedule in 3 steps")
+	}
+	units := map[int]bool{}
+	for _, u := range res.Solution.OpUnit {
+		units[u] = true
+	}
+	if len(units) != 2 {
+		t.Fatalf("expected both multiplier flavors in use, got units %v", units)
+	}
+}

@@ -1,0 +1,172 @@
+// Package core builds and solves the 0-1 ILP formulation of combined
+// temporal partitioning and high-level synthesis from Kaul & Vemuri,
+// "Optimal Temporal Partitioning and Synthesis for Reconfigurable
+// Architectures" (DATE 1998).
+//
+// The nonlinear 0-1 model of the paper (products of partitioning and
+// binding variables) is linearized either with Fortet's method or the
+// tighter Glover/Woolsey method, optionally strengthened with the
+// paper's tightening cuts (eqs. 28-30, 32), and solved by branch and
+// bound over LP relaxations with the paper's variable-selection
+// heuristic.
+//
+// Three paper typos are corrected, each marked at the emission site:
+// eq. (7) is per (step, FU) rather than per step; eq. (23) caps u_pk
+// from above (u <= sum z) so segments can share functional units;
+// eq. (29) sums y_{t2,p} for p < p1 and eq. (31) sums y_{t2,p2} up to
+// p2 = N (Figure 4 of the paper confirms both).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// Linearization selects how 0-1 products are linearized.
+type Linearization int
+
+const (
+	// LinGlover uses the Glover/Woolsey linearization: the product
+	// variable is continuous in [0,1] with c >= a+b-1, c <= a, c <= b.
+	// Tighter LP relaxations; the paper's choice.
+	LinGlover Linearization = iota
+	// LinFortet uses Fortet's linearization: the product variable is
+	// binary with c >= a+b-1 and 2c <= a+b.
+	LinFortet
+)
+
+func (l Linearization) String() string {
+	if l == LinFortet {
+		return "fortet"
+	}
+	return "glover"
+}
+
+// CutSet is a bitmask of the tightening-cut families of Section 6.
+type CutSet uint8
+
+// Tightening-cut families (paper equation numbers).
+const (
+	Cut28 CutSet = 1 << iota // w vs. producer placement
+	Cut29                    // w vs. consumer placement
+	Cut30                    // w vs. co-located tasks
+	Cut32                    // o + y - u link
+	// CutsAll enables every family (also the meaning of a zero Cuts).
+	CutsAll = Cut28 | Cut29 | Cut30 | Cut32
+)
+
+// Has reports whether family f is enabled, treating zero as all.
+func (c CutSet) Has(f CutSet) bool {
+	if c == 0 {
+		c = CutsAll
+	}
+	return c&f != 0
+}
+
+// BranchRule selects the branch-and-bound variable-selection strategy.
+type BranchRule int
+
+const (
+	// BranchPaper is the paper's heuristic (Section 8): fractional
+	// y_tp in topological task priority order (lowest t, then lowest
+	// p), 1-branch first; then any fractional u_pk; then x_ijk.
+	BranchPaper BranchRule = iota
+	// BranchFirstFrac picks the first fractional integer variable in
+	// column order — the "leave it to the solver" naive baseline.
+	BranchFirstFrac
+	// BranchMostFrac picks the variable closest to 0.5.
+	BranchMostFrac
+)
+
+func (b BranchRule) String() string {
+	switch b {
+	case BranchFirstFrac:
+		return "first-fractional"
+	case BranchMostFrac:
+		return "most-fractional"
+	default:
+		return "paper"
+	}
+}
+
+// Options configure model generation and solving.
+type Options struct {
+	// N is the number of temporal partitions made available (the upper
+	// bound of the formulation). 0 estimates N with the list-scheduling
+	// heuristic of internal/sched.
+	N int
+	// L is the user-specified latency relaxation over the maximum ALAP.
+	L int
+	// Linearization selects Fortet or Glover product linearization.
+	Linearization Linearization
+	// Tightened adds the paper's cuts (28), (29), (30) and (32).
+	Tightened bool
+	// Cuts selects individual tightening families when Tightened is
+	// set; the zero value enables all of them. Used by the ablation
+	// benchmarks.
+	Cuts CutSet
+	// WPerProduct linearizes the w variables exactly per product term
+	// (eqs. 4-5) instead of with the compact eq. (31). The paper's
+	// preliminary model (Table 1) uses per-product w; the final model
+	// uses the compact form.
+	WPerProduct bool
+	// Multicycle honors FU latencies greater than one control step
+	// (the paper's Gebotys/OSCAR-style extension).
+	Multicycle bool
+	// Branch selects the branching rule.
+	Branch BranchRule
+	// ExactSweep enumerates task assignments (cost-ordered, pruned)
+	// and certifies each with the exact scheduler before branch and
+	// bound; when every candidate resolves, optimality is proved
+	// without any LP search. Requires at most 12 tasks; implies the
+	// heuristic incumbent. Left off by the paper-faithful rows.
+	ExactSweep bool
+	// Presolve runs the LP presolver (row reduction + bound
+	// tightening) on the generated model before branch and bound. Off
+	// by default so the reported Var/Const counts match the generated
+	// formulation, as in the paper's tables.
+	Presolve bool
+	// DisableProbe turns off the exact-scheduling node probe, leaving
+	// the pure LP-driven branch and bound of the paper. Useful for
+	// runtime comparisons; expect far larger node counts.
+	DisableProbe bool
+	// PrimeHeuristic seeds branch and bound with the communication
+	// cost of the best list-scheduled solution (internal/heuristic),
+	// pruning subtrees that cannot beat it. An extension beyond the
+	// paper; off by default so runtimes stay comparable to the
+	// paper's algorithm.
+	PrimeHeuristic bool
+	// MaxNodes limits branch-and-bound nodes (0 = unlimited).
+	MaxNodes int
+	// TimeLimit bounds the solve wall-clock time (0 = unlimited).
+	TimeLimit time.Duration
+}
+
+// Instance is a complete problem instance: the behavioral
+// specification, the FU exploration set F, and the target device.
+type Instance struct {
+	Graph  *graph.Graph
+	Alloc  *library.Allocation
+	Device library.Device
+}
+
+// Validate checks that the instance is well formed and solvable in
+// principle: valid graph, covering allocation, valid device.
+func (in Instance) Validate() error {
+	if in.Graph == nil || in.Alloc == nil {
+		return fmt.Errorf("core: nil graph or allocation")
+	}
+	if err := in.Graph.Validate(); err != nil {
+		return err
+	}
+	if err := in.Device.Validate(); err != nil {
+		return err
+	}
+	if k, ok := in.Alloc.Covers(in.Graph); !ok {
+		return fmt.Errorf("core: no functional unit executes op kind %q", k)
+	}
+	return nil
+}

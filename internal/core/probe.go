@@ -1,0 +1,552 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/sched"
+)
+
+// The node probe is the reproduction's main engineering addition on
+// top of the paper's algorithm. At every branch-and-bound node whose
+// y_tp values are integral, it tries to solve the remaining
+// scheduling/binding subproblem exactly by budgeted backtracking:
+//
+//   - a schedule found yields an integer-feasible point whose
+//     objective equals the node's LP bound (the objective depends only
+//     on y), so the subtree is fathomed with a new incumbent;
+//   - an exhausted search with every y fixed by branching proves the
+//     subtree empty, so it is pruned;
+//   - a budget overrun falls back to ordinary x-branching.
+//
+// This keeps the search effectively over task assignments and avoids
+// the x-space thrashing a pure LP-driven dive suffers on instances
+// with wide mobility windows. Disable with Options.DisableProbe for
+// paper-faithful runtime comparisons.
+
+type schedStatus int
+
+const (
+	schedFound schedStatus = iota
+	schedInfeasible
+	schedBudget
+)
+
+// Budgets for the exact scheduler: a cheap pass at every probed node,
+// and a moderately deeper pass when the assignment is fully pinned so
+// an exhaustion proof can prune the subtree. Budgets stay small on
+// purpose: when the exact search is inconclusive, the LP-driven
+// branching usually proves infeasibility faster than a deep
+// backtracking search would.
+const (
+	probeBudgetQuick = 150_000
+	probeBudgetFull  = 1_500_000
+)
+
+type probeEntry struct {
+	status schedStatus
+	full   bool // proved with the full budget
+	step   []int
+	unit   []int
+}
+
+// probe implements the milp.Options.Probe contract.
+func (m *Model) probe(x []float64, bound func(int) (float64, float64)) ([]float64, bool) {
+	part, ok := m.integralAssignment(x)
+	if !ok {
+		return nil, false
+	}
+	pinned := m.allYFixed(bound)
+	ent := m.scheduleFor(part, pinned)
+	switch ent.status {
+	case schedFound:
+		return m.vectorFrom(x, part, ent.step, ent.unit), false
+	case schedInfeasible:
+		return nil, pinned
+	default:
+		return nil, false
+	}
+}
+
+// integralAssignment reads the task assignment from integral y values.
+func (m *Model) integralAssignment(x []float64) ([]int, bool) {
+	nt := m.Inst.Graph.NumTasks()
+	part := make([]int, nt)
+	for t := 0; t < nt; t++ {
+		for p := 1; p <= m.N; p++ {
+			v := x[m.Y[[2]int{t, p}]]
+			if v > intFracTol && v < 1-intFracTol {
+				return nil, false
+			}
+			if v >= 1-intFracTol {
+				if part[t] != 0 {
+					return nil, false
+				}
+				part[t] = p
+			}
+		}
+		if part[t] == 0 {
+			return nil, false
+		}
+	}
+	return part, true
+}
+
+const intFracTol = 1e-6
+
+// allYFixed reports whether the node's bounds pin every task's
+// assignment: either some y_tp has a lower bound of 1 (eq. (1) then
+// forces the rest to 0), or all but one y_tp have an upper bound of 0.
+// Only then does "this assignment is infeasible" prove the whole
+// subtree empty.
+func (m *Model) allYFixed(bound func(int) (float64, float64)) bool {
+	for t := 0; t < m.Inst.Graph.NumTasks(); t++ {
+		pinned := false
+		free := 0
+		for p := 1; p <= m.N; p++ {
+			lo, hi := bound(m.Y[[2]int{t, p}])
+			if lo >= 1-intFracTol {
+				pinned = true
+				break
+			}
+			if hi > intFracTol {
+				free++
+			}
+		}
+		if !pinned && free > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// scheduleFor memoizes exact scheduling per task assignment. deep
+// repeats an inconclusive quick search with the full budget.
+func (m *Model) scheduleFor(part []int, deep bool) probeEntry {
+	return m.scheduleForDeadline(part, deep, time.Time{})
+}
+
+// scheduleForDeadline is scheduleFor with a wall-clock cutoff for the
+// exact search (zero = none). Deadline-aborted searches are cached as
+// budget-inconclusive.
+func (m *Model) scheduleForDeadline(part []int, deep bool, deadline time.Time) probeEntry {
+	key := fmt.Sprint(part)
+	if m.probeCache == nil {
+		m.probeCache = map[string]probeEntry{}
+	}
+	if ent, ok := m.probeCache[key]; ok {
+		if ent.status != schedBudget || ent.full || !deep {
+			return ent
+		}
+	}
+	// cheap feasibility witness first: a list schedule within the step
+	// budget is already a valid solution
+	if step, unit, ok := m.listWitness(part); ok {
+		ent := probeEntry{status: schedFound, full: true, step: step, unit: unit}
+		m.cacheProbe(key, ent)
+		return ent
+	}
+	budget := probeBudgetQuick
+	if deep {
+		budget = probeBudgetFull
+	}
+	ent := m.exactSchedule(part, budget, deadline)
+	ent.full = deep && ent.status != schedBudget
+	m.cacheProbe(key, ent)
+	return ent
+}
+
+func (m *Model) cacheProbe(key string, ent probeEntry) {
+	if len(m.probeCache) < 200_000 {
+		m.probeCache[key] = ent
+	}
+}
+
+// listWitness list-schedules the assignment; success within the step
+// budget yields a concrete schedule usable as a feasible witness.
+func (m *Model) listWitness(part []int) (step, unit []int, ok bool) {
+	if m.Opt.Multicycle {
+		return nil, nil, false // the list scheduler assumes unit latency
+	}
+	plan := &sched.SegmentPlan{Segment: part, N: m.N}
+	asg, err := sched.HeuristicSchedule(m.Inst.Graph, m.Inst.Alloc, m.Inst.Device, m.Win, plan)
+	if err != nil || asg.Span > m.Win.MaxStep(m.Opt.L) {
+		return nil, nil, false
+	}
+	return asg.Step, asg.Unit, true
+}
+
+// exactSchedule backtracks over (step, unit) placements for a fixed
+// task assignment, honoring mobility windows, step ownership, FU
+// occupancy (incl. multicycle/pipelined) and per-partition area.
+func (m *Model) exactSchedule(part []int, budget int, deadline time.Time) probeEntry {
+	g, alloc, dev := m.Inst.Graph, m.Inst.Alloc, m.Inst.Device
+	// y-level sanity: order and memory (normally guaranteed by the LP)
+	for _, e := range g.TaskEdges() {
+		if part[e.From] > part[e.To] {
+			return probeEntry{status: schedInfeasible}
+		}
+	}
+	for p := 2; p <= m.N; p++ {
+		if sched.MemoryAt(g, part, p) > dev.ScratchMem {
+			return probeEntry{status: schedInfeasible}
+		}
+	}
+	if !m.kindCoverFits(part) {
+		return probeEntry{status: schedInfeasible}
+	}
+	order, err := g.TopoOps()
+	if err != nil {
+		return probeEntry{status: schedInfeasible}
+	}
+	// most-constrained-first: ALAP ascending is still a topological
+	// order (a predecessor's ALAP is strictly below its successor's)
+	// and makes the backtracking fail early instead of deep.
+	sort.SliceStable(order, func(a, b int) bool {
+		return m.Win.ALAP[order[a]] < m.Win.ALAP[order[b]]
+	})
+	no := g.NumOps()
+	maxStep := m.Win.MaxStep(m.Opt.L)
+	step := make([]int, no)
+	unit := make([]int, no)
+	endOf := make([]int, no)
+	stepOwner := make([]int, maxStep+2) // 0 = free
+	type slot struct{ j, k int }
+	busy := map[slot]bool{}
+	usedFG := make([]int, m.N+1)
+	partUnits := make([]map[int]bool, m.N+1)
+	for i := range partUnits {
+		partUnits[i] = map[int]bool{}
+	}
+	// kind-capacity pruning state: remaining unplaced ops per kind and
+	// occupied slots per unit. Capacity is overcounted (units are
+	// counted even for partitions they cannot join), which keeps the
+	// prune sound.
+	remaining := map[graph.OpKind]int{}
+	for i := 0; i < no; i++ {
+		remaining[g.Op(i).Kind]++
+	}
+	usedSlots := make([]int, alloc.NumUnits())
+	// remainingPK[p][kind]: unplaced ops of each kind per partition
+	remainingPK := make([]map[graph.OpKind]int, m.N+1)
+	for p := 1; p <= m.N; p++ {
+		remainingPK[p] = map[graph.OpKind]int{}
+	}
+	for i := 0; i < no; i++ {
+		remainingPK[part[g.Op(i).Task]][g.Op(i).Kind]++
+	}
+	// cheapest unit FG per kind, for the area prune
+	minFG := map[graph.OpKind]int{}
+	for kind := range remaining {
+		for _, u := range alloc.UnitsFor(kind) {
+			if fg := alloc.Unit(u).Type.FG; minFG[kind] == 0 || fg < minFG[kind] {
+				minFG[kind] = fg
+			}
+		}
+	}
+	kindFits := func() bool {
+		// global slot capacity per kind (overcounted, hence sound)
+		for kind, need := range remaining {
+			if need == 0 {
+				continue
+			}
+			free := 0
+			for _, u := range alloc.UnitsFor(kind) {
+				free += maxStep - usedSlots[u]
+			}
+			if free < need {
+				return false
+			}
+		}
+		// per-partition area: every kind still needed by a partition
+		// must have a serving unit there or room to add one
+		for p := 1; p <= m.N; p++ {
+			for kind, need := range remainingPK[p] {
+				if need == 0 {
+					continue
+				}
+				served := false
+				for u := range partUnits[p] {
+					if alloc.Unit(u).Type.CanExecute(kind) {
+						served = true
+						break
+					}
+				}
+				if !served && !dev.Fits(usedFG[p]+minFG[kind]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var rec func(n int) schedStatus
+	rec = func(n int) schedStatus {
+		if n == no {
+			return schedFound
+		}
+		if !kindFits() {
+			return schedInfeasible
+		}
+		i := order[n]
+		p := part[g.Op(i).Task]
+		lo := m.Win.ASAP[i]
+		for _, pr := range g.OpPred(i) {
+			if endOf[pr]+1 > lo {
+				lo = endOf[pr] + 1
+			}
+		}
+		for j := lo; j <= m.Win.ALAP[i]+m.Opt.L; j++ {
+			for _, k := range m.fu[i] {
+				// symmetry breaking: identical units are interchangeable
+				// (same type everywhere in the model), so only the
+				// lowest-ID unused unit of a type may be "opened"
+				if usedSlots[k] == 0 && hasUnusedTwin(alloc, usedSlots, k) {
+					continue
+				}
+				lat := m.latOf(k)
+				if j+lat-1 > maxStep {
+					continue
+				}
+				if budget--; budget <= 0 {
+					return schedBudget
+				}
+				if budget%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+					return schedBudget
+				}
+				ownOK := true
+				for jj := j; jj <= j+lat-1; jj++ {
+					if stepOwner[jj] != 0 && stepOwner[jj] != p {
+						ownOK = false
+						break
+					}
+				}
+				if !ownOK {
+					continue
+				}
+				pipelined := alloc.Unit(k).Type.Pipelined
+				occLo, occHi := j, j+lat-1
+				if pipelined {
+					occHi = j // issue slot only
+				}
+				conflict := false
+				for jj := occLo; jj <= occHi; jj++ {
+					if busy[slot{jj, k}] {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+				newUnit := !partUnits[p][k]
+				if newUnit && !dev.Fits(usedFG[p]+alloc.Unit(k).Type.FG) {
+					continue
+				}
+				// place
+				step[i], unit[i], endOf[i] = j, k, j+lat-1
+				remaining[g.Op(i).Kind]--
+				remainingPK[p][g.Op(i).Kind]--
+				usedSlots[k] += occHi - occLo + 1
+				var owned []int
+				for jj := j; jj <= j+lat-1; jj++ {
+					if stepOwner[jj] == 0 {
+						stepOwner[jj] = p
+						owned = append(owned, jj)
+					}
+				}
+				for jj := occLo; jj <= occHi; jj++ {
+					busy[slot{jj, k}] = true
+				}
+				if newUnit {
+					partUnits[p][k] = true
+					usedFG[p] += alloc.Unit(k).Type.FG
+				}
+				st := rec(n + 1)
+				// undo
+				remaining[g.Op(i).Kind]++
+				remainingPK[p][g.Op(i).Kind]++
+				usedSlots[k] -= occHi - occLo + 1
+				if newUnit {
+					delete(partUnits[p], k)
+					usedFG[p] -= alloc.Unit(k).Type.FG
+				}
+				for jj := occLo; jj <= occHi; jj++ {
+					delete(busy, slot{jj, k})
+				}
+				for _, jj := range owned {
+					stepOwner[jj] = 0
+				}
+				if st != schedInfeasible {
+					return st
+				}
+			}
+		}
+		return schedInfeasible
+	}
+	switch rec(0) {
+	case schedFound:
+		return probeEntry{status: schedFound, step: step, unit: unit}
+	case schedBudget:
+		return probeEntry{status: schedBudget}
+	default:
+		return probeEntry{status: schedInfeasible}
+	}
+}
+
+// kindCoverFits checks, for every partition of the assignment, that
+// some subset of units covers all operation kinds appearing there
+// within the device area — a cheap necessary condition that disposes
+// of most area-infeasible assignments without any backtracking.
+func (m *Model) kindCoverFits(part []int) bool {
+	g, alloc, dev := m.Inst.Graph, m.Inst.Alloc, m.Inst.Device
+	nu := alloc.NumUnits()
+	if nu > 16 {
+		return true // subset enumeration too large; let the search decide
+	}
+	budget := m.Win.MaxStep(m.Opt.L) // steps available to any partition
+	countOf := make([]map[graph.OpKind]int, m.N+1)
+	for i := 0; i < g.NumOps(); i++ {
+		p := part[g.Op(i).Task]
+		if countOf[p] == nil {
+			countOf[p] = map[graph.OpKind]int{}
+		}
+		countOf[p][g.Op(i).Kind]++
+	}
+	for p := 1; p <= m.N; p++ {
+		if len(countOf[p]) == 0 {
+			continue
+		}
+		ok := false
+		for mask := 1; mask < 1<<nu && !ok; mask++ {
+			fg := 0
+			for u := 0; u < nu; u++ {
+				if mask&(1<<u) != 0 {
+					fg += alloc.Unit(u).Type.FG
+				}
+			}
+			if !dev.Fits(fg) {
+				continue
+			}
+			feasible := true
+			for kind, need := range countOf[p] {
+				units := 0
+				for u := 0; u < nu; u++ {
+					if mask&(1<<u) != 0 && alloc.Unit(u).Type.CanExecute(kind) {
+						units++
+					}
+				}
+				// the partition sees at most the whole step budget, so
+				// units*budget is an upper bound on its kind capacity
+				if units*budget < need {
+					feasible = false
+					break
+				}
+			}
+			ok = feasible
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// hasUnusedTwin reports whether a lower-ID unit of the same type as k
+// is still completely unused — in that case opening k first would be a
+// symmetric duplicate of opening the twin.
+func hasUnusedTwin(alloc *library.Allocation, usedSlots []int, k int) bool {
+	typ := alloc.Unit(k).Type.Name
+	for u := 0; u < k; u++ {
+		if alloc.Unit(u).Type.Name == typ && usedSlots[u] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// vectorFrom assembles a full solution vector from an assignment and
+// an exact schedule, deriving every auxiliary variable.
+func (m *Model) vectorFrom(x []float64, part []int, step, unit []int) []float64 {
+	xc := append([]float64(nil), x...)
+	for t := 0; t < m.Inst.Graph.NumTasks(); t++ {
+		for p := 1; p <= m.N; p++ {
+			if part[t] == p {
+				xc[m.Y[[2]int{t, p}]] = 1
+			} else {
+				xc[m.Y[[2]int{t, p}]] = 0
+			}
+		}
+	}
+	for _, col := range m.tierX {
+		xc[col] = 0
+	}
+	for i := 0; i < m.Inst.Graph.NumOps(); i++ {
+		col, ok := m.X[[3]int{i, step[i], unit[i]}]
+		if !ok {
+			return nil // schedule outside the model's windows: decline
+		}
+		xc[col] = 1
+	}
+	xc = m.complete(xc)
+	if xc == nil {
+		return nil
+	}
+	// guard against drift: the point must really be integral
+	for _, col := range m.intVars {
+		if f := xc[col] - math.Floor(xc[col]); f > intFracTol && f < 1-intFracTol {
+			return nil
+		}
+	}
+	return xc
+}
+
+// paperBranch implements the paper's variable-selection heuristic
+// (fractional y in topological priority order with the 1-branch first,
+// then u, then x) with one refinement: when the LP's y values are
+// integral and the probe has already proven that assignment
+// unschedulable, the assignment is pinned one task at a time so the
+// probe's exhaustion proof can prune the subtree instead of the search
+// escaping into the u/x tiers.
+func (m *Model) paperBranch(x []float64, bound func(int) (float64, float64)) (int, bool) {
+	for _, col := range m.tierY {
+		if isFracVal(x[col]) {
+			return col, true
+		}
+	}
+	if !m.Opt.DisableProbe {
+		if part, ok := m.integralAssignment(x); ok {
+			if ent, hit := m.probeCache[fmt.Sprint(part)]; hit && ent.status != schedFound {
+				// the assignment is proven unschedulable (pin so the
+				// exhaustion proof prunes) or inconclusive (pin so the
+				// fallback x-search stays confined to this assignment)
+				for _, col := range m.tierY {
+					if x[col] >= 1-intFracTol {
+						if lo, hi := bound(col); hi-lo > intFracTol {
+							return col, true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, col := range m.tierU {
+		if isFracVal(x[col]) {
+			return col, true
+		}
+	}
+	for _, col := range m.tierX {
+		if isFracVal(x[col]) {
+			return col, true
+		}
+	}
+	return -1, true
+}
+
+func isFracVal(v float64) bool {
+	f := v - math.Floor(v)
+	return f > intFracTol && f < 1-intFracTol
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/heuristic"
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/partition"
+	"repro/internal/sched"
+)
+
+// Result reports a combined temporal-partitioning-and-synthesis solve.
+type Result struct {
+	// Feasible reports whether an integer solution exists (the
+	// "Feasible" column of the paper's tables).
+	Feasible bool
+	// Optimal reports whether the solution was proved optimal (false
+	// when a node or time limit stopped the search).
+	Optimal bool
+	// Solution is the extracted and independently verified solution
+	// (nil when infeasible).
+	Solution *partition.Solution
+	// Stats is the generated model size (Var/Const columns).
+	Stats lp.Stats
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// LPIterations is the total simplex pivot count.
+	LPIterations int
+	// Runtime is the solver wall-clock time.
+	Runtime time.Duration
+}
+
+// Solve runs branch and bound on the generated model with the
+// configured branching rule, then extracts and verifies the solution.
+func (m *Model) Solve() (*Result, error) {
+	solveStart := time.Now()
+	// All rules watch only the decision variables y, u and x; the
+	// auxiliary variables (o, c, z, w, ...) are implied once those are
+	// integral and are filled in by the completion hook, so no rule
+	// ever branches on them.
+	decision := append(append(append([]int{}, m.tierY...), m.tierU...), m.tierX...)
+	sort.Ints(decision)
+	var brancher milp.Brancher
+	switch m.Opt.Branch {
+	case BranchFirstFrac:
+		brancher = milp.FirstFractional(decision)
+	case BranchMostFrac:
+		brancher = milp.MostFractional(decision)
+	default:
+		brancher = milp.BrancherFunc(m.paperBranch)
+	}
+	if m.Opt.Presolve {
+		if res := m.P.Presolve(); res.Infeasible {
+			return &Result{Stats: m.Stats(), Optimal: true}, nil
+		}
+		if err := m.P.TightenBinary(m.intVars); err != nil {
+			// a binary domain emptied: no integer solution exists
+			return &Result{Stats: m.Stats(), Optimal: true}, nil
+		}
+	}
+	mopt := milp.Options{
+		IntVars:     m.intVars,
+		Brancher:    brancher,
+		ObjIntegral: true,
+		MaxNodes:    m.Opt.MaxNodes,
+		TimeLimit:   m.Opt.TimeLimit,
+		Complete:    m.complete,
+	}
+	if !m.Opt.DisableProbe {
+		mopt.Probe = m.probe
+	}
+	var prime *partition.Solution
+	if m.Opt.PrimeHeuristic || m.Opt.ExactSweep {
+		prime = m.heuristicIncumbent()
+	}
+	if m.Opt.ExactSweep && m.Inst.Graph.NumTasks() <= maxSweepTasks {
+		var sweepDeadline time.Time
+		if m.Opt.TimeLimit > 0 {
+			sweepDeadline = time.Now().Add(m.Opt.TimeLimit / 2)
+		}
+		sw := m.exactSweep(prime, sweepDeadline)
+		if sw.unresolved > 0 {
+			// settle the stubborn assignments with restricted MILPs
+			per := 20 * time.Second
+			if m.Opt.TimeLimit > 0 {
+				if budget := m.Opt.TimeLimit / time.Duration(2*len(sw.unresolvedParts)); budget < per {
+					per = budget
+				}
+			}
+			m.settleUnresolved(&sw, per)
+		}
+		if sw.unresolved == 0 {
+			// the sweep settled every candidate: proven result
+			out := &Result{Stats: m.Stats(), Optimal: true, Runtime: time.Since(solveStart)}
+			if sw.best != nil {
+				out.Feasible = true
+				out.Solution = sw.best
+			}
+			return out, nil
+		}
+		if sw.best != nil {
+			prime = sw.best // at least as good as the heuristic
+		}
+	}
+	if prime != nil {
+		// prune anything that cannot strictly beat the incumbent
+		mopt.InitialUpper = float64(prime.Comm)
+	}
+	if m.Opt.TimeLimit > 0 {
+		// the sweep and settling may have consumed part of the budget
+		remaining := m.Opt.TimeLimit - time.Since(solveStart)
+		if remaining < time.Second {
+			remaining = time.Second
+		}
+		mopt.TimeLimit = remaining
+	}
+	res, err := milp.Solve(m.P, mopt)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Stats:        m.Stats(),
+		Nodes:        res.Nodes,
+		LPIterations: res.LPIterations,
+		Runtime:      time.Since(solveStart), // includes sweep/settle time
+	}
+	switch res.Status {
+	case milp.StatusInfeasible:
+		if prime != nil {
+			// nothing beats the heuristic solution: it is optimal
+			out.Feasible, out.Optimal, out.Solution = true, true, prime
+			return out, nil
+		}
+		out.Optimal = true
+		return out, nil
+	case milp.StatusLimit:
+		if prime != nil {
+			out.Feasible, out.Solution = true, prime
+		}
+		return out, nil
+	case milp.StatusOptimal:
+		out.Optimal = true
+	}
+	out.Feasible = true
+	sol, err := m.Extract(res.X)
+	if err != nil {
+		return nil, err
+	}
+	if got := int(math.Round(res.Objective)); got != sol.Comm {
+		return nil, fmt.Errorf("core: ILP objective %d != extracted comm %d", got, sol.Comm)
+	}
+	out.Solution = sol
+	return out, nil
+}
+
+// heuristicIncumbent runs the list-scheduling baseline and converts its
+// best design into a verified Solution usable as a priming incumbent;
+// nil when the heuristic finds nothing or verification fails.
+func (m *Model) heuristicIncumbent() *partition.Solution {
+	if m.Opt.Multicycle {
+		return nil // the list-scheduling baseline assumes unit latency
+	}
+	h, err := heuristic.SolveBudget(m.Inst.Graph, m.Inst.Alloc, m.Inst.Device, m.N, m.Opt.L, 20000)
+	if err != nil || !h.Feasible {
+		return nil
+	}
+	w := m.Win
+	plan := &sched.SegmentPlan{Segment: h.Segment, N: m.N}
+	asg, err := sched.HeuristicSchedule(m.Inst.Graph, m.Inst.Alloc, m.Inst.Device, w, plan)
+	if err != nil {
+		return nil
+	}
+	sol := &partition.Solution{
+		N:             m.N,
+		TaskPartition: append([]int(nil), h.Segment...),
+		OpStep:        asg.Step,
+		OpUnit:        asg.Unit,
+	}
+	sol.Comm = sol.CommCost(m.Inst.Graph)
+	err = partition.Verify(m.Inst.Graph, m.Inst.Alloc, m.Inst.Device, sol, partition.VerifyOptions{
+		L:       m.Opt.L,
+		Windows: w,
+	})
+	if err != nil {
+		return nil
+	}
+	return sol
+}
+
+// Extract converts an integral model solution vector into a verified
+// partition.Solution.
+func (m *Model) Extract(x []float64) (*partition.Solution, error) {
+	g := m.Inst.Graph
+	sol := &partition.Solution{
+		N:             m.N,
+		TaskPartition: make([]int, g.NumTasks()),
+		OpStep:        make([]int, g.NumOps()),
+		OpUnit:        make([]int, g.NumOps()),
+	}
+	for i := range sol.OpUnit {
+		sol.OpUnit[i] = -1
+	}
+	for t := 0; t < g.NumTasks(); t++ {
+		for p := 1; p <= m.N; p++ {
+			if x[m.Y[[2]int{t, p}]] > 0.5 {
+				if sol.TaskPartition[t] != 0 {
+					return nil, fmt.Errorf("core: task %d assigned twice", t)
+				}
+				sol.TaskPartition[t] = p
+			}
+		}
+		if sol.TaskPartition[t] == 0 {
+			return nil, fmt.Errorf("core: task %d unassigned", t)
+		}
+	}
+	for key, col := range m.X {
+		if x[col] > 0.5 {
+			i := key[0]
+			if sol.OpUnit[i] != -1 {
+				return nil, fmt.Errorf("core: op %d assigned twice", i)
+			}
+			sol.OpStep[i] = key[1]
+			sol.OpUnit[i] = key[2]
+		}
+	}
+	for i, u := range sol.OpUnit {
+		if u == -1 {
+			return nil, fmt.Errorf("core: op %d unassigned", i)
+		}
+	}
+	sol.Comm = sol.CommCost(g)
+	err := partition.Verify(g, m.Inst.Alloc, m.Inst.Device, sol, partition.VerifyOptions{
+		L:          m.Opt.L,
+		Windows:    m.Win,
+		Multicycle: m.Opt.Multicycle,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: extracted solution failed verification: %w", err)
+	}
+	return sol, nil
+}
+
+// complete derives every auxiliary variable from integral y and x
+// values: o from bindings, c from step occupancy, z = y*o, u from z,
+// w (and per-product terms) from the partition assignment. The result
+// is integer feasible whenever the decision variables are — see the
+// milp.Options.Complete contract.
+func (m *Model) complete(x []float64) []float64 {
+	g := m.Inst.Graph
+	xc := append([]float64(nil), x...)
+	frac := func(v float64) bool { f := v - math.Floor(v); return f > 1e-6 && f < 1-1e-6 }
+	for _, col := range m.tierY {
+		if frac(xc[col]) {
+			return nil
+		}
+		xc[col] = math.Round(xc[col])
+	}
+	for _, col := range m.tierX {
+		if frac(xc[col]) {
+			return nil
+		}
+		xc[col] = math.Round(xc[col])
+	}
+	// partitions from y
+	part := make([]int, g.NumTasks())
+	for t := 0; t < g.NumTasks(); t++ {
+		for p := 1; p <= m.N; p++ {
+			if xc[m.Y[[2]int{t, p}]] > 0.5 {
+				part[t] = p
+				break
+			}
+		}
+		if part[t] == 0 {
+			return nil
+		}
+	}
+	// o from x
+	for key, col := range m.O {
+		t, k := key[0], key[1]
+		used := 0.0
+		for _, i := range g.Task(t).Ops {
+			for _, j := range m.cs[i] {
+				if xcol, ok := m.X[[3]int{i, j, k}]; ok && xc[xcol] > 0.5 {
+					used = 1
+				}
+			}
+		}
+		xc[col] = used
+	}
+	// c from occupied steps
+	for key, col := range m.C {
+		t, j := key[0], key[1]
+		occ := 0.0
+		for _, i := range g.Task(t).Ops {
+			for _, js := range m.cs[i] {
+				for _, k := range m.fu[i] {
+					xcol, ok := m.X[[3]int{i, js, k}]
+					if !ok || xc[xcol] < 0.5 {
+						continue
+					}
+					for _, jj := range m.occ[xcol] {
+						if jj == j {
+							occ = 1
+						}
+					}
+				}
+			}
+		}
+		xc[col] = occ
+	}
+	// z = y*o, u = OR_t z
+	for key, col := range m.Z {
+		p, t, k := key[0], key[1], key[2]
+		xc[col] = xc[m.Y[[2]int{t, p}]] * xc[m.O[[2]int{t, k}]]
+	}
+	for key, col := range m.U {
+		p, k := key[0], key[1]
+		v := 0.0
+		for t := 0; t < g.NumTasks(); t++ {
+			if z, ok := m.Z[[3]int{p, t, k}]; ok && xc[z] > 0.5 {
+				v = 1
+			}
+		}
+		xc[col] = v
+	}
+	// w from the partition assignment
+	for key, col := range m.W {
+		p, t1, t2 := key[0], key[1], key[2]
+		if part[t1] < p && part[t2] >= p {
+			xc[col] = 1
+		} else {
+			xc[col] = 0
+		}
+	}
+	for key, col := range m.Prod {
+		t1, t2, p1, p2 := key[0], key[1], key[2], key[3]
+		if part[t1] == p1 && part[t2] == p2 {
+			xc[col] = 1
+		} else {
+			xc[col] = 0
+		}
+	}
+	return xc
+}
+
+// SolveInstance builds the model and solves it in one call.
+func SolveInstance(inst Instance, opt Options) (*Result, error) {
+	m, err := Build(inst, opt)
+	if err != nil {
+		return nil, err
+	}
+	return m.Solve()
+}
+
+// EstimateN exposes the heuristic segment-count estimate used when
+// Options.N is zero.
+func EstimateN(inst Instance) (int, error) {
+	plan, err := sched.EstimateSegments(inst.Graph, inst.Alloc, inst.Device)
+	if err != nil {
+		return 0, err
+	}
+	return plan.N, nil
+}

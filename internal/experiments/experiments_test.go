@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestTableDefinitions(t *testing.T) {
+	for name, gen := range Tables {
+		rows := gen()
+		if len(rows) == 0 {
+			t.Errorf("table %s has no rows", name)
+		}
+		for _, r := range rows {
+			if r.GraphNum < 1 || r.GraphNum > 6 {
+				t.Errorf("table %s row %q: graph %d", name, r.Label, r.GraphNum)
+			}
+			if r.N < 1 || r.L < 0 || r.A < 0 || r.M < 0 || r.S < 0 {
+				t.Errorf("table %s row %q: bad config %+v", name, r.Label, r)
+			}
+			if r.Label == "" {
+				t.Errorf("table %s has unlabeled row", name)
+			}
+		}
+	}
+}
+
+func TestTable1And2ShareConfigs(t *testing.T) {
+	t1, t2 := Table1(), Table2()
+	if len(t1) != len(t2) {
+		t.Fatalf("row counts differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i].GraphNum != t2[i].GraphNum || t1[i].N != t2[i].N || t1[i].L != t2[i].L {
+			t.Errorf("row %d configs differ", i)
+		}
+		if t1[i].Opt.Tightened || !t2[i].Opt.Tightened {
+			t.Errorf("row %d: tightening flags wrong", i)
+		}
+		if !t1[i].Opt.WPerProduct {
+			t.Errorf("row %d: table 1 must use per-product w", i)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := &Result{
+		Row:      Row{Label: "x", GraphNum: 1, N: 2, L: 1, A: 2, M: 2, S: 1},
+		Feasible: true, Optimal: true, Comm: 7, Used: 2,
+		Runtime: 1500 * time.Millisecond,
+	}
+	out := Format(r)
+	for _, want := range []string{"Yes", "7(u2)", "1.50s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q: %s", want, out)
+		}
+	}
+	r.Optimal = false
+	if out := Format(r); !strings.Contains(out, ">") || !strings.Contains(out, "Yes*") {
+		t.Errorf("non-optimal row must be marked: %s", out)
+	}
+	r.Feasible = false
+	if out := Format(r); !strings.Contains(out, "?") {
+		t.Errorf("unresolved row must be marked: %s", out)
+	}
+}
+
+func TestRunSmallRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// generous config on graph 1: the exact sweep settles it instantly
+	res, err := Run(Row{
+		Label: "smoke", GraphNum: 1, N: 2, L: 4, A: 2, M: 2, S: 1,
+		Opt:       core.Options{Tightened: true, ExactSweep: true},
+		TimeLimit: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("expected feasible")
+	}
+	if res.Stats.Vars == 0 || res.Stats.Rows == 0 {
+		t.Fatal("missing stats")
+	}
+}

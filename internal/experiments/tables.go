@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Table1 reproduces the paper's Table 1: the preliminary, untightened
+// formulation (per-product w linearization, no cuts) on graph 1 and
+// graph 3. In the paper three of the four rows exceeded two hours; the
+// reproduction reports ">limit" for rows that exceed the time budget.
+func Table1() []Row {
+	rows := table12Configs()
+	for i := range rows {
+		rows[i].Label = fmt.Sprintf("T1 base g%d N%d L%d", rows[i].GraphNum, rows[i].N, rows[i].L)
+		rows[i].Opt.Tightened = false
+		rows[i].Opt.WPerProduct = true
+		// the preliminary experiments predate the branching heuristic,
+		// and the probe is this reproduction's addition: both off for
+		// a paper-faithful baseline
+		rows[i].Opt.Branch = core.BranchFirstFrac
+		rows[i].Opt.DisableProbe = true
+	}
+	return rows
+}
+
+// Table2 reproduces the paper's Table 2: the same configurations with
+// the tightening cuts (28)-(30), (32) and the compact w linearization
+// (31); still the naive branching rule.
+func Table2() []Row {
+	rows := table12Configs()
+	for i := range rows {
+		rows[i].Label = fmt.Sprintf("T2 tight g%d N%d L%d", rows[i].GraphNum, rows[i].N, rows[i].L)
+		rows[i].Opt.Tightened = true
+		rows[i].Opt.Branch = core.BranchFirstFrac
+		rows[i].Opt.DisableProbe = true
+	}
+	return rows
+}
+
+// table12Configs are the four configurations shared by Tables 1 and 2:
+// graph 1 at (N=3,L=1), (N=2,L=2), (N=2,L=3) and graph 3 at (N=3,L=1),
+// with the paper's FU mixes.
+// The L values are adapted to the seeded instances (the paper's exact
+// random graphs are lost); the configurations keep the paper's shape:
+// three graph-1 rows spanning the N/L trade-off plus one graph-3 row.
+func table12Configs() []Row {
+	return []Row{
+		{GraphNum: 1, N: 3, L: 3, A: 2, M: 2, S: 1},
+		{GraphNum: 1, N: 2, L: 3, A: 2, M: 2, S: 1},
+		{GraphNum: 1, N: 2, L: 4, A: 2, M: 2, S: 1},
+		{GraphNum: 3, N: 3, L: 2, A: 2, M: 2, S: 2},
+	}
+}
+
+// Table3 reproduces the paper's Table 3: the latency/partition sweep
+// on graph 1 with 2 adders, 2 multipliers and 1 subtracter. The shape
+// to reproduce: no relaxation is infeasible; one extra step makes N=3
+// feasible; more relaxation lets the design collapse onto fewer
+// partitions.
+func Table3() []Row {
+	var rows []Row
+	// L values adapted to the seeded graph 1; same cascade as the
+	// paper's Table 3: too tight -> infeasible; +relax -> optimal on 3
+	// segments; N=2 works too; one more step collapses the design onto
+	// a single configuration.
+	for _, cfg := range []struct{ N, L int }{{3, 0}, {3, 3}, {2, 3}, {2, 4}} {
+		rows = append(rows, Row{
+			Label:    fmt.Sprintf("T3 g1 N%d L%d", cfg.N, cfg.L),
+			GraphNum: 1, N: cfg.N, L: cfg.L, A: 2, M: 2, S: 1,
+			Opt: core.Options{Tightened: true, Branch: core.BranchPaper, ExactSweep: true},
+		})
+	}
+	return rows
+}
+
+// Table4 reproduces the paper's Table 4: the full results over
+// benchmark graphs 1-6 with the paper's N, L and FU mixes, tightened
+// model and the paper's branching heuristic.
+func Table4() []Row {
+	cfgs := []struct {
+		g, n, l, a, m, s int
+	}{
+		{1, 3, 3, 2, 2, 1},
+		{2, 4, 2, 3, 2, 2},
+		{3, 3, 2, 2, 2, 2},
+		{4, 2, 1, 2, 2, 2},
+		{4, 3, 0, 2, 2, 2},
+		{5, 3, 0, 2, 2, 2},
+		{5, 2, 2, 2, 2, 2},
+		{6, 3, 0, 2, 2, 2},
+		{6, 2, 1, 2, 2, 2},
+	}
+	var rows []Row
+	for _, c := range cfgs {
+		rows = append(rows, Row{
+			Label:    fmt.Sprintf("T4 g%d N%d L%d", c.g, c.n, c.l),
+			GraphNum: c.g, N: c.n, L: c.l, A: c.a, M: c.m, S: c.s,
+			Opt: core.Options{Tightened: true, Branch: core.BranchPaper, ExactSweep: true},
+		})
+	}
+	return rows
+}
+
+// AblationLinearization compares Fortet vs. Glover product
+// linearization (Section 4's claim that Glover's is tighter).
+func AblationLinearization() []Row {
+	var rows []Row
+	for _, lin := range []core.Linearization{core.LinGlover, core.LinFortet} {
+		for _, cfg := range []struct{ g, n, l int }{{1, 3, 3}, {1, 2, 4}} {
+			rows = append(rows, Row{
+				Label:    fmt.Sprintf("lin %s g%d N%d L%d", lin, cfg.g, cfg.n, cfg.l),
+				GraphNum: cfg.g, N: cfg.n, L: cfg.l, A: 2, M: 2, S: 1,
+				Opt: core.Options{Tightened: true, Linearization: lin, WPerProduct: true, PrimeHeuristic: true},
+			})
+		}
+	}
+	return rows
+}
+
+// AblationBranching compares the paper's variable-selection heuristic
+// against the naive rules (Section 8 / Section 9).
+func AblationBranching() []Row {
+	var rows []Row
+	for _, br := range []core.BranchRule{core.BranchPaper, core.BranchFirstFrac, core.BranchMostFrac} {
+		for _, cfg := range []struct{ g, n, l, a, m, s int }{
+			{1, 2, 4, 2, 2, 1}, // solvable row: rules differentiate here
+			{1, 3, 3, 2, 2, 1},
+			{3, 3, 2, 2, 2, 2},
+		} {
+			rows = append(rows, Row{
+				Label:    fmt.Sprintf("branch %s g%d N%d L%d", br, cfg.g, cfg.n, cfg.l),
+				GraphNum: cfg.g, N: cfg.n, L: cfg.l, A: cfg.a, M: cfg.m, S: cfg.s,
+				// probe off so the rows measure the LP-driven search the
+				// rules actually steer; primed so all rules chase the
+				// same incumbent
+				Opt: core.Options{Tightened: true, Branch: br, PrimeHeuristic: true, DisableProbe: true},
+			})
+		}
+	}
+	return rows
+}
+
+// AblationTightening drops one cut family at a time (Section 6).
+func AblationTightening() []Row {
+	cases := []struct {
+		label string
+		cuts  core.CutSet
+	}{
+		{"all cuts", core.CutsAll},
+		{"no (28)", core.CutsAll &^ core.Cut28},
+		{"no (29)", core.CutsAll &^ core.Cut29},
+		{"no (30)", core.CutsAll &^ core.Cut30},
+		{"no (32)", core.CutsAll &^ core.Cut32},
+	}
+	var rows []Row
+	for _, c := range cases {
+		rows = append(rows, Row{
+			Label:    "tighten " + c.label,
+			GraphNum: 1, N: 3, L: 3, A: 2, M: 2, S: 1,
+			Opt: core.Options{Tightened: true, Cuts: c.cuts, Branch: core.BranchPaper, PrimeHeuristic: true},
+		})
+	}
+	return rows
+}
+
+// Tables maps table names to row generators for cmd/tptables.
+var Tables = map[string]func() []Row{
+	"1":         Table1,
+	"2":         Table2,
+	"3":         Table3,
+	"4":         Table4,
+	"lin":       AblationLinearization,
+	"branching": AblationBranching,
+	"tighten":   AblationTightening,
+}

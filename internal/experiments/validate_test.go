@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/library"
+	"repro/internal/randgraph"
+)
+
+func TestValidateSeed(t *testing.T) {
+	if os.Getenv("TPSYN_PROBE") == "" {
+		t.Skip("probe")
+	}
+	g, err := randgraph.Generate(randgraph.Config{Name: "g1", Tasks: 5, Ops: 22}, 126)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, _ := library.PaperAllocation(library.DefaultLibrary(), 2, 2, 1)
+	for _, cfg := range []struct{ N, L int }{{3, 0}, {3, 3}, {2, 3}, {2, 4}, {1, 4}} {
+		start := time.Now()
+		res, err := core.SolveInstance(core.Instance{Graph: g, Alloc: alloc, Device: Device()},
+			core.Options{N: cfg.N, L: cfg.L, Tightened: true, TimeLimit: 120 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comm, used := -1, 0
+		if res.Feasible {
+			comm, used = res.Solution.Comm, res.Solution.UsedPartitions()
+		}
+		fmt.Printf("(%d,%d): %+v feas=%v opt=%v comm=%d used=%d nodes=%d t=%v\n",
+			cfg.N, cfg.L, res.Stats, res.Feasible, res.Optimal, comm, used, res.Nodes,
+			time.Since(start).Round(time.Millisecond))
+	}
+}

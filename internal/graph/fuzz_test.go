@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the text-format parser: arbitrary input must never
+// panic, and anything that parses must survive a write/parse round
+// trip with identical shape.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleSpec)
+	f.Add("graph g\ntask A\nop A a add\n")
+	f.Add("task A\ntask B\nop A a mul\nop B b mul\nxdep a b 3\n")
+	f.Add("tedge A B 1")
+	f.Add("# comment only\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		text := g.String()
+		g2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("re-parse of serialized graph failed: %v\n%s", err, text)
+		}
+		if g2.NumTasks() != g.NumTasks() || g2.NumOps() != g.NumOps() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				g.NumTasks(), g.NumOps(), g2.NumTasks(), g2.NumOps())
+		}
+		for _, e := range g.TaskEdges() {
+			if g2.Bandwidth(e.From, e.To) != e.Bandwidth {
+				t.Fatalf("round trip changed bandwidth %d->%d", e.From, e.To)
+			}
+		}
+	})
+}
+
+// FuzzParseNoPanics feeds structured-ish garbage lines.
+func FuzzParseNoPanics(f *testing.F) {
+	f.Add("op", "A", "a", "add", 3)
+	f.Fuzz(func(t *testing.T, d1, d2, d3, d4 string, n int) {
+		lines := []string{
+			"graph " + d1,
+			"task " + d2,
+			"op " + d2 + " " + d3 + " " + d4,
+			"dep " + d3 + " " + d3,
+			"xdep " + d3 + " " + d4 + " " + d1,
+		}
+		_, _ = ParseString(strings.Join(lines, "\n"))
+		_ = n
+	})
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The textual specification format is line oriented:
+//
+//	graph  <name>
+//	task   <task>
+//	op     <task> <op> <kind>
+//	dep    <op> <op>            # same-task dataflow edge
+//	xdep   <op> <op> <bw>       # cross-task dataflow edge, bw data units
+//	tedge  <task> <task> <bw>   # explicit task edge (rarely needed)
+//
+// '#' starts a comment; blank lines are ignored. Tasks and ops are
+// referred to by their labels, which must be unique.
+
+// Parse reads a specification in the textual format from r.
+func Parse(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	g := New("")
+	taskByName := map[string]int{}
+	opByName := map[string]int{}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(msg string) error {
+			return fmt.Errorf("graph: parse line %d: %s", lineno, msg)
+		}
+		switch fields[0] {
+		case "graph":
+			if len(fields) != 2 {
+				return nil, fail("want: graph <name>")
+			}
+			g.Name = fields[1]
+		case "task":
+			if len(fields) != 2 {
+				return nil, fail("want: task <name>")
+			}
+			if _, dup := taskByName[fields[1]]; dup {
+				return nil, fail("duplicate task " + fields[1])
+			}
+			taskByName[fields[1]] = g.AddTask(fields[1])
+		case "op":
+			if len(fields) != 4 {
+				return nil, fail("want: op <task> <name> <kind>")
+			}
+			t, ok := taskByName[fields[1]]
+			if !ok {
+				return nil, fail("unknown task " + fields[1])
+			}
+			if _, dup := opByName[fields[2]]; dup {
+				return nil, fail("duplicate op " + fields[2])
+			}
+			opByName[fields[2]] = g.AddOp(t, OpKind(fields[3]), fields[2])
+		case "dep":
+			if len(fields) != 3 {
+				return nil, fail("want: dep <op> <op>")
+			}
+			a, ok1 := opByName[fields[1]]
+			b, ok2 := opByName[fields[2]]
+			if !ok1 || !ok2 {
+				return nil, fail("unknown op in dep")
+			}
+			if g.Op(a).Task != g.Op(b).Task {
+				return nil, fail("dep crosses tasks; use xdep with a bandwidth")
+			}
+			g.AddOpEdge(a, b)
+		case "xdep":
+			if len(fields) != 4 {
+				return nil, fail("want: xdep <op> <op> <bw>")
+			}
+			a, ok1 := opByName[fields[1]]
+			b, ok2 := opByName[fields[2]]
+			if !ok1 || !ok2 {
+				return nil, fail("unknown op in xdep")
+			}
+			bw, err := strconv.Atoi(fields[3])
+			if err != nil || bw < 0 {
+				return nil, fail("bad bandwidth " + fields[3])
+			}
+			g.Connect(a, b, bw)
+		case "tedge":
+			if len(fields) != 4 {
+				return nil, fail("want: tedge <task> <task> <bw>")
+			}
+			a, ok1 := taskByName[fields[1]]
+			b, ok2 := taskByName[fields[2]]
+			if !ok1 || !ok2 {
+				return nil, fail("unknown task in tedge")
+			}
+			bw, err := strconv.Atoi(fields[3])
+			if err != nil || bw < 0 {
+				return nil, fail("bad bandwidth " + fields[3])
+			}
+			g.AddTaskEdge(a, b, bw)
+		default:
+			return nil, fail("unknown directive " + fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: parse: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }
+
+// Write emits g in the textual format accepted by Parse. Operation
+// labels are made unique and non-empty as needed.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	name := g.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	fmt.Fprintf(bw, "graph %s\n", sanitize(name))
+	tname := func(t int) string {
+		if l := g.Task(t).Label; l != "" {
+			return sanitize(l)
+		}
+		return fmt.Sprintf("t%d", t)
+	}
+	oname := func(i int) string { return fmt.Sprintf("o%d", i) }
+	for _, t := range g.Tasks() {
+		fmt.Fprintf(bw, "task %s\n", tname(t.ID))
+	}
+	for _, op := range g.Ops() {
+		fmt.Fprintf(bw, "op %s %s %s\n", tname(op.Task), oname(op.ID), op.Kind)
+	}
+	// Cross-task op edges carry their own weights; re-parsing
+	// accumulates them back into task-edge bandwidths.
+	carried := map[[2]int]int{}
+	for _, e := range g.OpEdges() {
+		ft, tt := g.Op(e.From).Task, g.Op(e.To).Task
+		if ft == tt {
+			fmt.Fprintf(bw, "dep %s %s\n", oname(e.From), oname(e.To))
+			continue
+		}
+		carried[[2]int{ft, tt}] += e.Weight
+		fmt.Fprintf(bw, "xdep %s %s %d\n", oname(e.From), oname(e.To), e.Weight)
+	}
+	// Task edges not fully accounted for by op-edge weights (built via
+	// AddTaskEdge directly) get an explicit tedge for the difference.
+	for _, e := range g.TaskEdges() {
+		if diff := e.Bandwidth - carried[[2]int{e.From, e.To}]; diff > 0 {
+			fmt.Fprintf(bw, "tedge %s %s %d\n", tname(e.From), tname(e.To), diff)
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders g in the textual format.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	_ = Write(&sb, g)
+	return sb.String()
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// DOT renders g as a Graphviz digraph with tasks as clusters, operation
+// edges solid and task edges dashed (labeled with bandwidth).
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph \"" + sanitize(g.Name) + "\" {\n")
+	sb.WriteString("  rankdir=TB;\n")
+	for _, t := range g.Tasks() {
+		fmt.Fprintf(&sb, "  subgraph cluster_t%d {\n    label=\"%s\";\n", t.ID, labelOr(t.Label, fmt.Sprintf("t%d", t.ID)))
+		ops := append([]int(nil), t.Ops...)
+		sort.Ints(ops)
+		for _, o := range ops {
+			op := g.Op(o)
+			fmt.Fprintf(&sb, "    o%d [label=\"%s\\n%s\"];\n", o, labelOr(op.Label, fmt.Sprintf("o%d", o)), op.Kind)
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, e := range g.OpEdges() {
+		fmt.Fprintf(&sb, "  o%d -> o%d;\n", e.From, e.To)
+	}
+	for _, e := range g.TaskEdges() {
+		// Anchor dashed task edges on the first op of each task when
+		// available, otherwise skip (pure task edges are rare).
+		if len(g.Task(e.From).Ops) > 0 && len(g.Task(e.To).Ops) > 0 {
+			fmt.Fprintf(&sb, "  o%d -> o%d [style=dashed, label=\"bw=%d\", constraint=false];\n",
+				g.Task(e.From).Ops[0], g.Task(e.To).Ops[0], e.Bandwidth)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func labelOr(l, def string) string {
+	if l == "" {
+		return def
+	}
+	return sanitize(l)
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the stable on-disk JSON shape of a specification.
+type jsonGraph struct {
+	Name      string         `json:"name"`
+	Tasks     []jsonTask     `json:"tasks"`
+	Ops       []jsonOp       `json:"ops"`
+	OpEdges   []jsonOpEdge   `json:"op_edges"`
+	TaskEdges []jsonTaskEdge `json:"task_edges,omitempty"`
+}
+
+type jsonTask struct {
+	Label string `json:"label,omitempty"`
+}
+
+type jsonOp struct {
+	Task  int    `json:"task"`
+	Kind  string `json:"kind"`
+	Label string `json:"label,omitempty"`
+}
+
+type jsonOpEdge struct {
+	From   int `json:"from"`
+	To     int `json:"to"`
+	Weight int `json:"weight,omitempty"`
+}
+
+type jsonTaskEdge struct {
+	From      int `json:"from"`
+	To        int `json:"to"`
+	Bandwidth int `json:"bandwidth"`
+}
+
+// MarshalJSON encodes the graph in a stable, self-contained shape.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := jsonGraph{Name: g.Name}
+	for _, t := range g.Tasks() {
+		out.Tasks = append(out.Tasks, jsonTask{Label: t.Label})
+	}
+	for _, op := range g.Ops() {
+		out.Ops = append(out.Ops, jsonOp{Task: op.Task, Kind: string(op.Kind), Label: op.Label})
+	}
+	for _, e := range g.OpEdges() {
+		out.OpEdges = append(out.OpEdges, jsonOpEdge{From: e.From, To: e.To, Weight: e.Weight})
+	}
+	// only task edges not implied by op edges (see Write): the
+	// decoder rebuilds implied ones from op-edge weights
+	implied := map[[2]int]int{}
+	for _, e := range g.OpEdges() {
+		ft, tt := g.Op(e.From).Task, g.Op(e.To).Task
+		if ft != tt {
+			implied[[2]int{ft, tt}] += e.Weight
+		}
+	}
+	for _, e := range g.TaskEdges() {
+		if diff := e.Bandwidth - implied[[2]int{e.From, e.To}]; diff > 0 {
+			out.TaskEdges = append(out.TaskEdges, jsonTaskEdge{From: e.From, To: e.To, Bandwidth: diff})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a graph written by MarshalJSON, validating the
+// result.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in jsonGraph
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	ng := New(in.Name)
+	for _, t := range in.Tasks {
+		ng.AddTask(t.Label)
+	}
+	for i, op := range in.Ops {
+		if op.Task < 0 || op.Task >= ng.NumTasks() {
+			return fmt.Errorf("graph: json op %d references task %d", i, op.Task)
+		}
+		if op.Kind == "" {
+			return fmt.Errorf("graph: json op %d has empty kind", i)
+		}
+		ng.AddOp(op.Task, OpKind(op.Kind), op.Label)
+	}
+	for _, e := range in.OpEdges {
+		if e.From < 0 || e.From >= ng.NumOps() || e.To < 0 || e.To >= ng.NumOps() {
+			return fmt.Errorf("graph: json op edge %d->%d out of range", e.From, e.To)
+		}
+		w := e.Weight
+		if w <= 0 {
+			w = 1
+		}
+		ng.Connect(e.From, e.To, w)
+	}
+	for _, e := range in.TaskEdges {
+		if e.From < 0 || e.From >= ng.NumTasks() || e.To < 0 || e.To >= ng.NumTasks() {
+			return fmt.Errorf("graph: json task edge %d->%d out of range", e.From, e.To)
+		}
+		ng.AddTaskEdge(e.From, e.To, e.Bandwidth)
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// WriteJSON encodes g to w with indentation.
+func WriteJSON(w io.Writer, g *Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON decodes a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	g := New("")
+	if err := json.NewDecoder(r).Decode(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

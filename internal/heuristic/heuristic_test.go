@@ -1,0 +1,100 @@
+package heuristic_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/heuristic"
+	"repro/internal/library"
+	"repro/internal/randgraph"
+)
+
+func TestSolveSimpleSplit(t *testing.T) {
+	g := graph.New("s")
+	t0 := g.AddTask("t0")
+	t1 := g.AddTask("t1")
+	a := g.AddOp(t0, graph.OpAdd, "")
+	b := g.AddOp(t1, graph.OpMul, "")
+	g.Connect(a, b, 3)
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// device fits only one FU kind at a time -> forced split, comm 3
+	dev := library.Device{Name: "tiny", CapacityFG: 96, Alpha: 1.0, ScratchMem: 64}
+	res, err := heuristic.Solve(g, alloc, dev, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Comm != 3 {
+		t.Fatalf("feasible=%v comm=%d, want true/3", res.Feasible, res.Comm)
+	}
+	// with a roomy device everything shares one segment: comm 0
+	res, err = heuristic.Solve(g, alloc, library.XC4025(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Comm != 0 {
+		t.Fatalf("feasible=%v comm=%d, want true/0", res.Feasible, res.Comm)
+	}
+}
+
+func TestSolveInfeasibleBudget(t *testing.T) {
+	// 4 muls on 1 multiplier: CP=1 but 4 steps needed; L=0 budget is 1
+	g := graph.New("m")
+	t0 := g.AddTask("t0")
+	for i := 0; i < 4; i++ {
+		g.AddOp(t0, graph.OpMul, "")
+	}
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := heuristic.Solve(g, alloc, library.XC4025(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("4 muls cannot fit 1 step on 1 multiplier")
+	}
+	res, err = heuristic.Solve(g, alloc, library.XC4025(), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Steps != 4 {
+		t.Fatalf("feasible=%v steps=%d, want true/4", res.Feasible, res.Steps)
+	}
+}
+
+// The heuristic's cost upper-bounds the ILP optimum, and a
+// heuristic-feasible instance is ILP-feasible.
+func TestHeuristicUpperBoundsOptimum(t *testing.T) {
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := library.Device{Name: "d", CapacityFG: 130, Alpha: 1.0, ScratchMem: 64}
+	for seed := int64(1); seed <= 12; seed++ {
+		g, err := randgraph.Tiny(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := heuristic.Solve(g, alloc, dev, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.SolveInstance(
+			core.Instance{Graph: g, Alloc: alloc, Device: dev},
+			core.Options{N: 2, L: 1, Tightened: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Feasible && !res.Feasible {
+			t.Fatalf("seed %d: heuristic feasible but ILP infeasible", seed)
+		}
+		if h.Feasible && res.Feasible && res.Solution.Comm > h.Comm {
+			t.Fatalf("seed %d: optimum %d > heuristic %d", seed, res.Solution.Comm, h.Comm)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package library
+
+import "repro/internal/graph"
+
+// Default characterized components, loosely modeled on 16-bit XC4000
+// macros of the paper's era. FG costs are of the magnitude the paper's
+// Synopsys-characterized library would produce; exact values only shift
+// the resource constraint, not the structure of the formulation.
+
+// Add16 is a 16-bit ripple-carry adder.
+func Add16() FUType {
+	return FUType{Name: "add16", Ops: []graph.OpKind{graph.OpAdd}, FG: 16, Latency: 1, DelayNS: 28}
+}
+
+// Sub16 is a 16-bit subtracter.
+func Sub16() FUType {
+	return FUType{Name: "sub16", Ops: []graph.OpKind{graph.OpSub}, FG: 16, Latency: 1, DelayNS: 28}
+}
+
+// AddSub16 is a combined adder/subtracter (one instance serves both
+// kinds, letting the optimizer explore heterogeneous bindings).
+func AddSub16() FUType {
+	return FUType{Name: "addsub16", Ops: []graph.OpKind{graph.OpAdd, graph.OpSub}, FG: 18, Latency: 1, DelayNS: 30}
+}
+
+// Mul16 is a 16-bit array multiplier, single cycle.
+func Mul16() FUType {
+	return FUType{Name: "mul16", Ops: []graph.OpKind{graph.OpMul}, FG: 96, Latency: 1, DelayNS: 60}
+}
+
+// Mul16x2 is a two-cycle non-pipelined multiplier (multicycle
+// extension).
+func Mul16x2() FUType {
+	return FUType{Name: "mul16x2", Ops: []graph.OpKind{graph.OpMul}, FG: 60, Latency: 2, DelayNS: 32}
+}
+
+// Mul16Pipe is a two-stage pipelined multiplier (pipelining extension).
+func Mul16Pipe() FUType {
+	return FUType{Name: "mul16p", Ops: []graph.OpKind{graph.OpMul}, FG: 72, Latency: 2, Pipelined: true, DelayNS: 32}
+}
+
+// Cmp16 is a 16-bit comparator.
+func Cmp16() FUType {
+	return FUType{Name: "cmp16", Ops: []graph.OpKind{graph.OpCmp}, FG: 9, Latency: 1, DelayNS: 20}
+}
+
+// Logic16 executes bitwise and/or and shifts.
+func Logic16() FUType {
+	return FUType{Name: "logic16", Ops: []graph.OpKind{graph.OpAnd, graph.OpOr, graph.OpShl}, FG: 8, Latency: 1, DelayNS: 12}
+}
+
+// Div16 is a multicycle divider.
+func Div16() FUType {
+	return FUType{Name: "div16", Ops: []graph.OpKind{graph.OpDiv}, FG: 110, Latency: 4, DelayNS: 30}
+}
+
+// DefaultLibrary returns the standard component library used by the
+// examples, generators and benchmark harness.
+func DefaultLibrary() *Library {
+	return MustLibrary(
+		Add16(), Sub16(), AddSub16(),
+		Mul16(), Mul16x2(), Mul16Pipe(),
+		Cmp16(), Logic16(), Div16(),
+	)
+}
+
+// XC4010 approximates the paper-era Xilinx XC4010 target: 400 CLBs with
+// two function generators each.
+func XC4010() Device {
+	return Device{
+		Name:             "xc4010",
+		CapacityFG:       160,
+		Alpha:            0.7,
+		ScratchMem:       64,
+		ReconfigNS:       50e6, // tens of milliseconds, SRAM FPGA full reconfig
+		MemXferNSPerUnit: 200,
+	}
+}
+
+// XC4025 is a larger device for the bigger benchmark graphs.
+func XC4025() Device {
+	return Device{
+		Name:             "xc4025",
+		CapacityFG:       280,
+		Alpha:            0.7,
+		ScratchMem:       128,
+		ReconfigNS:       80e6,
+		MemXferNSPerUnit: 200,
+	}
+}
+
+// PaperAllocation builds the A+M+S exploration sets used throughout the
+// paper's tables: a adders, m multipliers, s subtracters.
+func PaperAllocation(lib *Library, a, m, s int) (*Allocation, error) {
+	counts := map[string]int{}
+	if a > 0 {
+		counts["add16"] = a
+	}
+	if m > 0 {
+		counts["mul16"] = m
+	}
+	if s > 0 {
+		counts["sub16"] = s
+	}
+	return NewAllocation(lib, counts)
+}

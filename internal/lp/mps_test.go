@@ -1,0 +1,140 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMPSRoundTrip(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar("x", -1, 0, 3)
+	y := p.AddVar("y", 2, -1, Inf)
+	z := p.AddVar("z", 0, math.Inf(-1), Inf) // free
+	w := p.AddVar("w", 0.5, 2, 2)            // fixed
+	_ = p.AddLE("le", []int{x, y}, []float64{1, 2}, 4)
+	_ = p.AddGE("ge", []int{y, z}, []float64{1, -1}, -2)
+	_ = p.AddEQ("eq", []int{x, z}, []float64{3, 1}, 5)
+	_ = p.AddRow("rng", []int{x, w}, []float64{1, 1}, 1, 6)
+
+	var sb strings.Builder
+	if err := p.WriteMPS(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadMPS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if q.NumVars() != p.NumVars() || q.NumRows() != p.NumRows() {
+		t.Fatalf("shape: %d/%d vs %d/%d", q.NumVars(), q.NumRows(), p.NumVars(), p.NumRows())
+	}
+	// same optimum (both must be feasible and bounded here)
+	sp, err := NewSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := NewSolver(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1, st2 := sp.Solve(), sq.Solve(); st1 != st2 {
+		t.Fatalf("status %v vs %v", st1, st2)
+	}
+	if sp.Status() == StatusOptimal && math.Abs(sp.Objective()-sq.Objective()) > 1e-6 {
+		t.Fatalf("objective %v vs %v\n%s", sp.Objective(), sq.Objective(), sb.String())
+	}
+}
+
+func TestMPSSections(t *testing.T) {
+	p := &Problem{}
+	x := p.AddBinary("x", 1)
+	_ = p.AddRow("r", []int{x}, []float64{1}, 0.25, 0.75)
+	var sb strings.Builder
+	if err := p.WriteMPS(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"NAME", "ROWS", "COLUMNS", "RHS", "RANGES", "BOUNDS", "ENDATA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing section %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadMPSErrors(t *testing.T) {
+	cases := []string{
+		"ROWS\n X  R0\n",                       // unknown row type surfaces at AddRow... keep simple inputs
+		"COLUMNS\n    C_0        R9 1\n",       // unknown row
+		"RHS\n    RHS        R9 1\n",           // unknown row
+		"BOUNDS\n UP BND        C_9 1\n",       // unknown column
+		"WEIRD\n    junk\n",                    // unknown section
+		"ROWS\n L  R0\nCOLUMNS\n    C_0 R0\n",  // odd field count
+		"ROWS\n L  R0\nCOLUMNS\n    C R0 xx\n", // bad number
+	}
+	for _, c := range cases {
+		if _, err := ReadMPS(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted bad MPS:\n%s", c)
+		}
+	}
+}
+
+// Property: WriteMPS -> ReadMPS preserves the optimum on random
+// feasible LPs.
+func TestPropertyMPSPreservesOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, _ := randomPrimalDual(r)
+		var sb strings.Builder
+		if err := p.WriteMPS(&sb, "rt"); err != nil {
+			return false
+		}
+		q, err := ReadMPS(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		sp, err := NewSolver(p)
+		if err != nil {
+			return false
+		}
+		sq, err := NewSolver(q)
+		if err != nil {
+			return false
+		}
+		if sp.Solve() != StatusOptimal || sq.Solve() != StatusOptimal {
+			return false
+		}
+		return math.Abs(sp.Objective()-sq.Objective()) < 1e-6*(1+math.Abs(sp.Objective()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLPFormat(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar("x", -1, 0, 3)
+	y := p.AddVar("y", 2, -1, Inf)
+	z := p.AddVar("z", 0, math.Inf(-1), Inf)
+	_ = p.AddLE("le", []int{x, y}, []float64{1, -2}, 4)
+	_ = p.AddEQ("eq", []int{x, z}, []float64{3, 1}, 5)
+	_ = p.AddRow("rng", []int{x, y}, []float64{1, 1}, 1, 6)
+	var sb strings.Builder
+	if err := p.WriteLP(&sb, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Minimize", "Subject To", "Bounds", "End",
+		"- 2 y_1", // negative coefficient rendering
+		"r1: 3 x_0 + z_2 = 5",
+		"r2a:", "r2b:", // range row split in two
+		"z_2 free",
+		"0 <= x_0 <= 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// PresolveResult summarizes what Presolve changed.
+type PresolveResult struct {
+	// RowsRemoved counts redundant or converted rows dropped.
+	RowsRemoved int
+	// BoundsTightened counts variable-bound improvements.
+	BoundsTightened int
+	// Infeasible is set when presolve proves the problem empty.
+	Infeasible bool
+}
+
+// Presolve simplifies the problem in place without touching the
+// column space, so solvers and callers keep their variable indices:
+//
+//   - singleton rows become variable bounds and are dropped,
+//   - rows whose activity bounds already imply the row are dropped,
+//   - activity bounds tighten variable bounds (one propagation pass
+//     per round, iterated to a fixed point with a round cap),
+//   - contradictions prove infeasibility.
+//
+// Presolve must run before NewSolver; running it afterwards leaves
+// existing solvers unaffected (they snapshot rows at creation).
+func (p *Problem) Presolve() PresolveResult {
+	var res PresolveResult
+	const maxRounds = 20
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		keep := p.rows[:0]
+		keepNames := p.rowNames[:0]
+		for i := range p.rows {
+			r := p.rows[i]
+			switch p.presolveRow(&r, &res) {
+			case rowInfeasible:
+				res.Infeasible = true
+				return res
+			case rowDrop:
+				res.RowsRemoved++
+				changed = true
+			case rowKeep:
+				keep = append(keep, r)
+				keepNames = append(keepNames, p.rowNames[i])
+			case rowKeepTightened:
+				keep = append(keep, r)
+				keepNames = append(keepNames, p.rowNames[i])
+				changed = true
+			}
+		}
+		p.rows = keep
+		p.rowNames = keepNames
+		for j := range p.lo {
+			if p.lo[j] > p.hi[j]+feasTol {
+				res.Infeasible = true
+				return res
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return res
+}
+
+type rowAction int
+
+const (
+	rowKeep rowAction = iota
+	rowKeepTightened
+	rowDrop
+	rowInfeasible
+)
+
+// presolveRow analyzes one row, possibly tightening variable bounds.
+func (p *Problem) presolveRow(r *row, res *PresolveResult) rowAction {
+	if len(r.idx) == 0 {
+		if r.lo > feasTol || r.hi < -feasTol {
+			return rowInfeasible
+		}
+		return rowDrop
+	}
+	if len(r.idx) == 1 {
+		// singleton: a*x in [lo,hi] <=> x in [lo/a, hi/a] (sign-aware)
+		j, a := r.idx[0], r.val[0]
+		lo, hi := r.lo/a, r.hi/a
+		if a < 0 {
+			lo, hi = hi, lo
+		}
+		if lo > p.lo[j]+feasTol {
+			p.lo[j] = lo
+			res.BoundsTightened++
+		}
+		if hi < p.hi[j]-feasTol {
+			p.hi[j] = hi
+			res.BoundsTightened++
+		}
+		if p.lo[j] > p.hi[j]+feasTol {
+			return rowInfeasible
+		}
+		return rowDrop
+	}
+	// activity bounds
+	minAct, maxAct := 0.0, 0.0
+	for k, j := range r.idx {
+		a := r.val[k]
+		if a > 0 {
+			minAct += a * p.lo[j]
+			maxAct += a * p.hi[j]
+		} else {
+			minAct += a * p.hi[j]
+			maxAct += a * p.lo[j]
+		}
+	}
+	if minAct > r.hi+feasTol || maxAct < r.lo-feasTol {
+		return rowInfeasible
+	}
+	if minAct >= r.lo-feasTol && maxAct <= r.hi+feasTol {
+		return rowDrop // row can never bind
+	}
+	// bound propagation: for each var, the row implies
+	// a_j x_j in [lo - (maxAct - contribMax), hi - (minAct - contribMin)]
+	tightened := false
+	for k, j := range r.idx {
+		a := r.val[k]
+		var cMin, cMax float64
+		if a > 0 {
+			cMin, cMax = a*p.lo[j], a*p.hi[j]
+		} else {
+			cMin, cMax = a*p.hi[j], a*p.lo[j]
+		}
+		restMin, restMax := minAct-cMin, maxAct-cMax
+		if math.IsInf(restMin, 0) || math.IsInf(restMax, 0) {
+			continue
+		}
+		implLo, implHi := math.Inf(-1), math.Inf(1)
+		if !math.IsInf(r.hi, 1) {
+			implHi = r.hi - restMin // a_j x_j <= hi - restMin
+		}
+		if !math.IsInf(r.lo, -1) {
+			implLo = r.lo - restMax // a_j x_j >= lo - restMax
+		}
+		lo, hi := implLo/a, implHi/a
+		if a < 0 {
+			lo, hi = hi, lo
+		}
+		const eps = 1e-9
+		if lo > p.lo[j]+eps && !math.IsInf(lo, -1) {
+			p.lo[j] = lo
+			res.BoundsTightened++
+			tightened = true
+		}
+		if hi < p.hi[j]-eps && !math.IsInf(hi, 1) {
+			p.hi[j] = hi
+			res.BoundsTightened++
+			tightened = true
+		}
+	}
+	if tightened {
+		return rowKeepTightened
+	}
+	return rowKeep
+}
+
+// TightenBinary rounds bounds of 0-1 variables after presolve: a lower
+// bound above 0 becomes 1, an upper bound below 1 becomes 0. Returns
+// an error when a binary variable's domain empties.
+func (p *Problem) TightenBinary(cols []int) error {
+	for _, j := range cols {
+		if p.lo[j] > 1e-9 {
+			p.lo[j] = 1
+		}
+		if p.hi[j] < 1-1e-9 {
+			p.hi[j] = 0
+		}
+		if p.lo[j] > p.hi[j] {
+			return fmt.Errorf("lp: binary variable %d (%s) has empty domain after tightening", j, p.names[j])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+// Package lp implements a dense bounded-variable simplex solver for
+// linear programs of the form
+//
+//	minimize   c·x
+//	subject to Lo_i <= a_i·x <= Hi_i   (range constraints)
+//	           l_j  <= x_j  <= u_j     (variable bounds)
+//
+// It provides primal and dual simplex pivoting with warm starts after
+// bound changes, which is the substrate the branch-and-bound MILP
+// solver in internal/milp is built on — the role lp_solve plays in
+// Kaul & Vemuri (DATE 1998).
+//
+// The implementation keeps a full dense tableau (basis inverse times
+// the constraint matrix). Model sizes in the reproduced paper peak
+// around 1.2k structural variables and a few thousand rows, where a
+// dense tableau is simple, predictable and fast enough.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is positive infinity, for unbounded sides of constraints and
+// variables.
+var Inf = math.Inf(1)
+
+// Problem is a linear program under construction. The zero value is an
+// empty minimization problem.
+type Problem struct {
+	names  []string
+	obj    []float64
+	lo, hi []float64
+
+	rows     []row
+	rowNames []string
+}
+
+type row struct {
+	idx []int
+	val []float64
+	lo  float64
+	hi  float64
+}
+
+// AddVar appends a variable with the given objective coefficient and
+// bounds, returning its column index.
+func (p *Problem) AddVar(name string, obj, lo, hi float64) int {
+	p.names = append(p.names, name)
+	p.obj = append(p.obj, obj)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	return len(p.obj) - 1
+}
+
+// AddBinary appends a 0-1 variable relaxed to [0,1].
+func (p *Problem) AddBinary(name string, obj float64) int {
+	return p.AddVar(name, obj, 0, 1)
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// VarName returns the name of variable j.
+func (p *Problem) VarName(j int) string { return p.names[j] }
+
+// RowName returns the name of row i.
+func (p *Problem) RowName(i int) string { return p.rowNames[i] }
+
+// Bounds returns the bounds of variable j.
+func (p *Problem) Bounds(j int) (lo, hi float64) { return p.lo[j], p.hi[j] }
+
+// SetVarBounds replaces the bounds of variable j. Solvers snapshot a
+// problem at NewSolver time, so changing bounds affects only solvers
+// created afterwards.
+func (p *Problem) SetVarBounds(j int, lo, hi float64) error {
+	if j < 0 || j >= len(p.obj) {
+		return fmt.Errorf("lp: SetVarBounds: variable %d out of range", j)
+	}
+	if lo > hi {
+		return fmt.Errorf("lp: SetVarBounds: empty range [%v,%v]", lo, hi)
+	}
+	p.lo[j], p.hi[j] = lo, hi
+	return nil
+}
+
+// Obj returns the objective coefficient of variable j.
+func (p *Problem) Obj(j int) float64 { return p.obj[j] }
+
+// AddRow appends the range constraint lo <= sum coef_j x_j <= hi.
+// Duplicate indices in idx are accumulated. Use Inf / -Inf for
+// one-sided constraints and lo == hi for equalities.
+func (p *Problem) AddRow(name string, idx []int, coef []float64, lo, hi float64) error {
+	if len(idx) != len(coef) {
+		return fmt.Errorf("lp: AddRow %q: %d indices vs %d coefficients", name, len(idx), len(coef))
+	}
+	if lo > hi {
+		return fmt.Errorf("lp: AddRow %q: empty range [%v,%v]", name, lo, hi)
+	}
+	acc := map[int]float64{}
+	for k, j := range idx {
+		if j < 0 || j >= len(p.obj) {
+			return fmt.Errorf("lp: AddRow %q: variable %d out of range", name, j)
+		}
+		acc[j] += coef[k]
+	}
+	r := row{lo: lo, hi: hi}
+	// deterministic order
+	for j := 0; j < len(p.obj); j++ {
+		if v, ok := acc[j]; ok && v != 0 {
+			r.idx = append(r.idx, j)
+			r.val = append(r.val, v)
+		}
+	}
+	p.rows = append(p.rows, r)
+	p.rowNames = append(p.rowNames, name)
+	return nil
+}
+
+// AddLE appends sum coef_j x_j <= rhs.
+func (p *Problem) AddLE(name string, idx []int, coef []float64, rhs float64) error {
+	return p.AddRow(name, idx, coef, -Inf, rhs)
+}
+
+// AddGE appends sum coef_j x_j >= rhs.
+func (p *Problem) AddGE(name string, idx []int, coef []float64, rhs float64) error {
+	return p.AddRow(name, idx, coef, rhs, Inf)
+}
+
+// AddEQ appends sum coef_j x_j == rhs.
+func (p *Problem) AddEQ(name string, idx []int, coef []float64, rhs float64) error {
+	return p.AddRow(name, idx, coef, rhs, rhs)
+}
+
+// Eval computes a_i · x for row i.
+func (p *Problem) Eval(i int, x []float64) float64 {
+	s := 0.0
+	r := p.rows[i]
+	for k, j := range r.idx {
+		s += r.val[k] * x[j]
+	}
+	return s
+}
+
+// RowRange returns the [lo, hi] range of row i.
+func (p *Problem) RowRange(i int) (lo, hi float64) { return p.rows[i].lo, p.rows[i].hi }
+
+// Feasible reports whether x satisfies all rows and bounds within tol.
+func (p *Problem) Feasible(x []float64, tol float64) error {
+	if len(x) != len(p.obj) {
+		return fmt.Errorf("lp: Feasible: len(x)=%d, want %d", len(x), len(p.obj))
+	}
+	for j := range x {
+		if x[j] < p.lo[j]-tol || x[j] > p.hi[j]+tol {
+			return fmt.Errorf("lp: variable %d (%s) = %v outside [%v,%v]", j, p.names[j], x[j], p.lo[j], p.hi[j])
+		}
+	}
+	for i := range p.rows {
+		v := p.Eval(i, x)
+		if v < p.rows[i].lo-tol || v > p.rows[i].hi+tol {
+			return fmt.Errorf("lp: row %d (%s) = %v outside [%v,%v]", i, p.rowNames[i], v, p.rows[i].lo, p.rows[i].hi)
+		}
+	}
+	return nil
+}
+
+// Objective computes c·x.
+func (p *Problem) Objective(x []float64) float64 {
+	s := 0.0
+	for j, c := range p.obj {
+		if c != 0 {
+			s += c * x[j]
+		}
+	}
+	return s
+}
+
+// Stats summarizes the model size the way the paper's tables report it.
+type Stats struct {
+	Vars int // structural variables
+	Rows int // constraints
+	NNZ  int // nonzero coefficients
+}
+
+// Stats returns the model size.
+func (p *Problem) Stats() Stats {
+	nnz := 0
+	for i := range p.rows {
+		nnz += len(p.rows[i].idx)
+	}
+	return Stats{Vars: len(p.obj), Rows: len(p.rows), NNZ: nnz}
+}

@@ -1,0 +1,331 @@
+package lp
+
+import "math"
+
+// This file contains the pivoting engines. Conventions:
+//
+// The system is A'z = 0 where z = (x, g): every row i reads
+// a_i·x + g_i = 0 with the logical g_i bounded in [-Hi_i, -Lo_i].
+// tab is B^{-1}A' (row-major, m x ntot). For basic variable b_r in row
+// r the equation gives x_{b_r} = -sum_{nonbasic j} tab[r][j]*z_j, the
+// value cached in beta[r].
+//
+// Reduced costs d are maintained incrementally across pivots and stay
+// exact up to roundoff: d_j = c_j - c_B^T tab[:,j].
+
+// primalSimplex iterates while the basis is primal feasible, driving
+// reduced costs to dual feasibility. Entering rule: Dantzig (most
+// negative violation), falling back to Bland's rule after a run of
+// degenerate pivots.
+func (s *Solver) primalSimplex() Status {
+	limit := s.maxIter()
+	for iter := 0; iter < limit; iter++ {
+		if s.expired(iter) {
+			return StatusIterLimit
+		}
+		q := s.pricePrimal()
+		if q < 0 {
+			return StatusOptimal
+		}
+		sigma := 1.0 // direction of motion for the entering variable
+		if s.vstat[q] == atUpper || (s.vstat[q] == atFree && s.d[q] > 0) {
+			sigma = -1
+		}
+		leave, step, hitUpper, flip := s.ratioPrimal(q, sigma)
+		if math.IsInf(step, 1) {
+			return StatusUnbounded
+		}
+		s.Iterations++
+		s.noteDegenerate(step)
+		if flip {
+			// entering variable jumps to its other bound; basis unchanged
+			s.shiftNonbasic(q, sigma*step)
+			if sigma > 0 {
+				s.vstat[q], s.nbVal[q] = atUpper, s.hi[q]
+			} else {
+				s.vstat[q], s.nbVal[q] = atLower, s.lo[q]
+			}
+			continue
+		}
+		s.pivot(leave, q, sigma*step, hitUpper)
+	}
+	return StatusIterLimit
+}
+
+// pricePrimal selects the entering variable, or -1 at optimality.
+func (s *Solver) pricePrimal() int {
+	best, bestViol := -1, optTol
+	for j := 0; j < s.ntot; j++ {
+		var viol float64
+		switch s.vstat[j] {
+		case basic:
+			continue
+		case atLower:
+			if s.lo[j] == s.hi[j] {
+				continue // fixed
+			}
+			viol = -s.d[j]
+		case atUpper:
+			if s.lo[j] == s.hi[j] {
+				continue
+			}
+			viol = s.d[j]
+		case atFree:
+			viol = math.Abs(s.d[j])
+		}
+		if viol <= optTol {
+			continue
+		}
+		if s.bland {
+			return j
+		}
+		if viol > bestViol {
+			best, bestViol = j, viol
+		}
+	}
+	return best
+}
+
+// ratioPrimal runs the bounded-variable ratio test for entering
+// variable q moving in direction sigma. It returns the leaving row,
+// the step length, whether the leaving basic variable hits its upper
+// bound, and whether the move is a bound flip of q itself.
+func (s *Solver) ratioPrimal(q int, sigma float64) (leave int, step float64, hitUpper, flip bool) {
+	step = math.Inf(1)
+	if !math.IsInf(s.hi[q], 1) && !math.IsInf(s.lo[q], -1) {
+		step = s.hi[q] - s.lo[q]
+		flip = true
+	}
+	leave = -1
+	bestPiv := 0.0
+	for i := 0; i < s.m; i++ {
+		a := s.tab[i*s.ntot+q]
+		if a > -pivTol && a < pivTol {
+			continue
+		}
+		rate := -a * sigma // d beta[i] / d step
+		b := s.basis[i]
+		var room float64
+		var hitsUpper bool
+		if rate > 0 {
+			if math.IsInf(s.hi[b], 1) {
+				continue
+			}
+			room = s.hi[b] - s.beta[i]
+			hitsUpper = true
+		} else {
+			if math.IsInf(s.lo[b], -1) {
+				continue
+			}
+			room = s.beta[i] - s.lo[b]
+			hitsUpper = false
+		}
+		if room < 0 {
+			room = 0
+		}
+		r := room / math.Abs(rate)
+		const tieTol = 1e-9
+		better := false
+		switch {
+		case r < step-tieTol:
+			better = true
+		case r < step+tieTol && leave < 0:
+			better = true // beats the bound-flip limit on a tie
+		case r < step+tieTol && leave >= 0:
+			if s.bland {
+				better = s.basis[i] < s.basis[leave]
+			} else {
+				better = math.Abs(a) > bestPiv
+			}
+		}
+		if better {
+			leave, step, hitUpper, flip = i, r, hitsUpper, false
+			bestPiv = math.Abs(a)
+		}
+	}
+	if leave < 0 && flip {
+		// the entering variable's own bound range is the binding limit
+		return -1, step, false, true
+	}
+	return leave, step, hitUpper, false
+}
+
+// dualSimplex iterates while reduced costs are dual feasible, driving
+// basic values into their bounds. Leaving rule: largest bound
+// violation; entering rule: dual ratio test (Bland fallback on
+// degeneracy).
+func (s *Solver) dualSimplex() Status {
+	limit := s.maxIter()
+	for iter := 0; iter < limit; iter++ {
+		if s.expired(iter) {
+			return StatusIterLimit
+		}
+		r, below := s.priceDual()
+		if r < 0 {
+			return StatusOptimal // primal feasible; dual feasibility maintained
+		}
+		q := s.ratioDual(r, below)
+		if q < 0 {
+			return StatusInfeasible
+		}
+		b := s.basis[r]
+		var target float64
+		if below {
+			target = s.lo[b]
+		} else {
+			target = s.hi[b]
+		}
+		// step that lands the leaving variable exactly on its bound
+		a := s.tab[r*s.ntot+q]
+		delta := (s.beta[r] - target) / a
+		s.Iterations++
+		s.noteDegenerate(math.Abs(delta))
+		s.pivot(r, q, delta, !below)
+	}
+	return StatusIterLimit
+}
+
+// priceDual selects the row of the most infeasible basic variable,
+// reporting whether it violates its lower bound. Returns -1 when
+// primal feasible.
+func (s *Solver) priceDual() (int, bool) {
+	best, bestViol, below := -1, feasTol, false
+	for i := 0; i < s.m; i++ {
+		b := s.basis[i]
+		if v := s.lo[b] - s.beta[i]; v > bestViol {
+			if s.bland {
+				return i, true
+			}
+			best, bestViol, below = i, v, true
+		}
+		if v := s.beta[i] - s.hi[b]; v > bestViol {
+			if s.bland {
+				return i, false
+			}
+			best, bestViol, below = i, v, false
+		}
+	}
+	return best, below
+}
+
+// ratioDual selects the entering variable for leaving row r. below
+// indicates the leaving basic variable violates its lower bound (needs
+// to increase). Returns -1 when the row proves infeasibility.
+func (s *Solver) ratioDual(r int, below bool) int {
+	trow := s.tab[r*s.ntot : (r+1)*s.ntot]
+	q := -1
+	bestRatio := math.Inf(1)
+	bestPiv := 0.0
+	for j := 0; j < s.ntot; j++ {
+		if s.vstat[j] == basic || s.lo[j] == s.hi[j] {
+			continue
+		}
+		a := trow[j]
+		if a > -pivTol && a < pivTol {
+			continue
+		}
+		// eligibility: moving j within its free direction must push
+		// beta[r] toward the violated bound (d beta[r]/d x_j = -a).
+		eligible := false
+		switch s.vstat[j] {
+		case atLower: // x_j may increase
+			eligible = (below && a < 0) || (!below && a > 0)
+		case atUpper: // x_j may decrease
+			eligible = (below && a > 0) || (!below && a < 0)
+		case atFree:
+			eligible = true
+		}
+		if !eligible {
+			continue
+		}
+		ratio := math.Abs(s.d[j] / a)
+		const tieTol = 1e-9
+		if s.bland {
+			if q < 0 || ratio < bestRatio-tieTol {
+				q, bestRatio = j, ratio
+			}
+			continue
+		}
+		if ratio < bestRatio-tieTol || (ratio < bestRatio+tieTol && math.Abs(a) > bestPiv) {
+			q, bestRatio, bestPiv = j, ratio, math.Abs(a)
+		}
+	}
+	return q
+}
+
+// noteDegenerate tracks degenerate pivots and enables Bland's rule
+// after a long run of them; any real progress resets the counter.
+func (s *Solver) noteDegenerate(step float64) {
+	if step <= degTol {
+		s.degRun++
+		if s.degRun > degLimit {
+			s.bland = true
+		}
+		return
+	}
+	s.degRun = 0
+	s.bland = false
+}
+
+// pivot moves entering variable q by delta (signed), makes it basic in
+// row r, and turns the current basic variable of r nonbasic at its
+// upper (hitUpper) or lower bound. The tableau and reduced costs are
+// updated in place.
+func (s *Solver) pivot(r, q int, delta float64, hitUpper bool) {
+	// 1. move the entering variable: all basic values respond
+	newVal := s.nbVal[q] + delta
+	if delta != 0 {
+		s.shiftNonbasic(q, delta)
+	}
+	// 2. swap basis membership
+	leave := s.basis[r]
+	if hitUpper {
+		s.vstat[leave], s.nbVal[leave] = atUpper, s.hi[leave]
+	} else {
+		s.vstat[leave], s.nbVal[leave] = atLower, s.lo[leave]
+	}
+	s.inRow[leave] = -1
+	s.basis[r] = q
+	s.inRow[q] = r
+	s.vstat[q] = basic
+	s.beta[r] = newVal
+	// 3. eliminate column q from all other rows. The pivot row is
+	// usually sparse, so gather its nonzero support once and only
+	// touch those columns in every target row.
+	trow := s.tab[r*s.ntot : (r+1)*s.ntot]
+	piv := trow[q]
+	inv := 1 / piv
+	if cap(s.nzbuf) < s.ntot {
+		s.nzbuf = make([]int32, s.ntot)
+	}
+	nz := s.nzbuf[:0]
+	for j := 0; j < s.ntot; j++ {
+		if trow[j] != 0 {
+			trow[j] *= inv
+			nz = append(nz, int32(j))
+		}
+	}
+	trow[q] = 1
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		orow := s.tab[i*s.ntot : (i+1)*s.ntot]
+		f := orow[q]
+		if f == 0 {
+			continue
+		}
+		for _, j := range nz {
+			orow[j] -= f * trow[j]
+		}
+		orow[q] = 0
+	}
+	// 4. reduced costs: d_j -= d_q * tab[r][j] (normalized row)
+	dq := s.d[q]
+	if dq != 0 {
+		for _, j := range nz {
+			s.d[j] -= dq * trow[j]
+		}
+	}
+	s.d[q] = 0
+}

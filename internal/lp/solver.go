@@ -1,0 +1,448 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Status is the outcome of an LP solve.
+type Status int
+
+const (
+	// StatusUnknown means the solver has not run yet.
+	StatusUnknown Status = iota
+	// StatusOptimal means an optimal basic solution was found.
+	StatusOptimal
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded below.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was hit.
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return "unknown"
+	}
+}
+
+type varStatus int8
+
+const (
+	basic varStatus = iota
+	atLower
+	atUpper
+	atFree // nonbasic free variable pinned at 0
+)
+
+const (
+	feasTol  = 1e-7
+	optTol   = 1e-7
+	pivTol   = 1e-9
+	degTol   = 1e-9
+	degLimit = 400 // degenerate pivots before switching to Bland's rule
+)
+
+// Solver solves a Problem by bounded-variable simplex and supports
+// warm-started re-optimization after variable-bound changes, the
+// mechanism branch-and-bound relies on.
+//
+// A Solver snapshots the Problem's rows at creation; later AddRow calls
+// on the Problem are not seen. Variable bounds are owned by the Solver
+// (SetBound) after creation.
+type Solver struct {
+	n    int // structural variables
+	m    int // rows
+	ntot int // n + m (structural + logical)
+
+	c      []float64 // costs, logical costs are 0
+	lo, hi []float64 // current bounds, logical bounds encode row ranges
+	tab    []float64 // dense m x ntot tableau, row-major: B^{-1} A
+	beta   []float64 // values of basic variables per row
+	basis  []int     // variable basic in each row
+	inRow  []int     // row of a basic variable, -1 if nonbasic
+	vstat  []varStatus
+	nbVal  []float64 // value of nonbasic variables
+	d      []float64 // reduced costs
+
+	origRows []row   // for rebuilds
+	nzbuf    []int32 // scratch: pivot-row nonzero support
+
+	status Status
+	bland  bool
+	degRun int
+	// Iterations counts simplex pivots (including bound flips) over
+	// the lifetime of the solver.
+	Iterations int
+	// MaxIter bounds pivots per Solve/ReOptimize call; 0 means the
+	// default of max(20000, 200*(m+n)).
+	MaxIter int
+	// Deadline, when non-zero, aborts a Solve/ReOptimize with
+	// StatusIterLimit once the wall clock passes it. Checked every few
+	// hundred pivots, so overshoot is bounded.
+	Deadline time.Time
+}
+
+// NewSolver builds a solver for p. The problem must have at least one
+// variable. Row data is copied; the solver is independent of later
+// changes to p.
+func NewSolver(p *Problem) (*Solver, error) {
+	n, m := p.NumVars(), p.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("lp: empty problem")
+	}
+	s := &Solver{
+		n: n, m: m, ntot: n + m,
+		c:     make([]float64, n+m),
+		lo:    make([]float64, n+m),
+		hi:    make([]float64, n+m),
+		beta:  make([]float64, m),
+		basis: make([]int, m),
+		inRow: make([]int, n+m),
+		vstat: make([]varStatus, n+m),
+		nbVal: make([]float64, n+m),
+		d:     make([]float64, n+m),
+	}
+	copy(s.c, p.obj)
+	copy(s.lo, p.lo)
+	copy(s.hi, p.hi)
+	s.origRows = make([]row, m)
+	copy(s.origRows, p.rows)
+	for i := 0; i < m; i++ {
+		// logical variable i: a_i·x + g_i = 0 with g_i in [-Hi, -Lo]
+		s.lo[n+i] = -p.rows[i].hi
+		s.hi[n+i] = -p.rows[i].lo
+	}
+	for j := 0; j < s.ntot; j++ {
+		if s.lo[j] > s.hi[j] {
+			return nil, fmt.Errorf("lp: variable %d has empty bound range", j)
+		}
+	}
+	s.tab = make([]float64, m*s.ntot)
+	s.reset()
+	return s, nil
+}
+
+// reset restores the all-logical basis with nonbasic structural
+// variables at cost-favourable bounds.
+func (s *Solver) reset() {
+	for i := range s.tab {
+		s.tab[i] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		r := s.origRows[i]
+		trow := s.tab[i*s.ntot : (i+1)*s.ntot]
+		for k, j := range r.idx {
+			trow[j] = r.val[k]
+		}
+		trow[s.n+i] = 1
+		s.basis[i] = s.n + i
+		s.inRow[s.n+i] = i
+		s.vstat[s.n+i] = basic
+	}
+	for j := 0; j < s.n; j++ {
+		s.inRow[j] = -1
+		s.setNonbasicStart(j)
+	}
+	s.recomputeBeta()
+	// basis costs are all zero (logicals), so d = c
+	copy(s.d, s.c)
+	s.status = StatusUnknown
+	s.bland = false
+	s.degRun = 0
+}
+
+// setNonbasicStart places nonbasic variable j on the bound favoured by
+// its cost sign, falling back to whichever bound is finite.
+func (s *Solver) setNonbasicStart(j int) {
+	loF, hiF := !math.IsInf(s.lo[j], -1), !math.IsInf(s.hi[j], 1)
+	prefUpper := s.c[j] < 0
+	switch {
+	case prefUpper && hiF:
+		s.vstat[j], s.nbVal[j] = atUpper, s.hi[j]
+	case !prefUpper && loF:
+		s.vstat[j], s.nbVal[j] = atLower, s.lo[j]
+	case hiF:
+		s.vstat[j], s.nbVal[j] = atUpper, s.hi[j]
+	case loF:
+		s.vstat[j], s.nbVal[j] = atLower, s.lo[j]
+	default:
+		s.vstat[j], s.nbVal[j] = atFree, 0
+	}
+}
+
+// recomputeBeta recomputes all basic values from nonbasic values.
+func (s *Solver) recomputeBeta() {
+	for i := 0; i < s.m; i++ {
+		trow := s.tab[i*s.ntot : (i+1)*s.ntot]
+		v := 0.0
+		for j := 0; j < s.ntot; j++ {
+			if s.vstat[j] != basic && s.nbVal[j] != 0 && trow[j] != 0 {
+				v += trow[j] * s.nbVal[j]
+			}
+		}
+		s.beta[i] = -v
+	}
+}
+
+// value returns the current value of variable j.
+func (s *Solver) value(j int) float64 {
+	if s.vstat[j] == basic {
+		return s.beta[s.inRow[j]]
+	}
+	return s.nbVal[j]
+}
+
+// X returns the current value of structural variable j.
+func (s *Solver) X(j int) float64 { return s.value(j) }
+
+// Solution copies the structural solution into a new slice.
+func (s *Solver) Solution() []float64 {
+	x := make([]float64, s.n)
+	for j := range x {
+		x[j] = s.value(j)
+	}
+	return x
+}
+
+// Objective returns c·x for the current solution.
+func (s *Solver) Objective() float64 {
+	v := 0.0
+	for j := 0; j < s.n; j++ {
+		if s.c[j] != 0 {
+			v += s.c[j] * s.value(j)
+		}
+	}
+	return v
+}
+
+// Status returns the status of the last solve.
+func (s *Solver) Status() Status { return s.status }
+
+// Bound returns the current bounds of structural variable j.
+func (s *Solver) Bound(j int) (lo, hi float64) { return s.lo[j], s.hi[j] }
+
+// SetBound changes the bounds of structural variable j, keeping the
+// factorized state consistent so ReOptimize can warm-start.
+func (s *Solver) SetBound(j int, lo, hi float64) {
+	if j < 0 || j >= s.n {
+		panic(fmt.Sprintf("lp: SetBound: bad variable %d", j))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("lp: SetBound: empty range [%v,%v]", lo, hi))
+	}
+	s.lo[j], s.hi[j] = lo, hi
+	if s.vstat[j] == basic {
+		return // beta may now violate; dual simplex repairs it
+	}
+	old := s.nbVal[j]
+	// re-anchor the nonbasic value to a consistent bound
+	switch s.vstat[j] {
+	case atLower:
+		s.nbVal[j] = lo
+		if math.IsInf(lo, -1) {
+			s.vstat[j], s.nbVal[j] = atFree, 0
+		}
+	case atUpper:
+		s.nbVal[j] = hi
+		if math.IsInf(hi, 1) {
+			s.vstat[j], s.nbVal[j] = atFree, 0
+		}
+	case atFree:
+		if !math.IsInf(lo, -1) && old < lo {
+			s.vstat[j], s.nbVal[j] = atLower, lo
+		} else if !math.IsInf(hi, 1) && old > hi {
+			s.vstat[j], s.nbVal[j] = atUpper, hi
+		}
+	}
+	// clamp into range
+	if s.nbVal[j] < lo {
+		s.vstat[j], s.nbVal[j] = atLower, lo
+	} else if s.nbVal[j] > hi {
+		s.vstat[j], s.nbVal[j] = atUpper, hi
+	}
+	if delta := s.nbVal[j] - old; delta != 0 {
+		s.shiftNonbasic(j, delta)
+	}
+	s.status = StatusUnknown
+}
+
+// shiftNonbasic adjusts basic values after nonbasic variable j moved by
+// delta.
+func (s *Solver) shiftNonbasic(j int, delta float64) {
+	for i := 0; i < s.m; i++ {
+		if a := s.tab[i*s.ntot+j]; a != 0 {
+			s.beta[i] -= a * delta
+		}
+	}
+}
+
+// expired reports whether the deadline has passed; polled cheaply.
+func (s *Solver) expired(iter int) bool {
+	return iter%256 == 255 && !s.Deadline.IsZero() && time.Now().After(s.Deadline)
+}
+
+func (s *Solver) maxIter() int {
+	if s.MaxIter > 0 {
+		return s.MaxIter
+	}
+	it := 200 * (s.m + s.n)
+	if it < 20000 {
+		it = 20000
+	}
+	return it
+}
+
+// Solve optimizes from a fresh all-logical basis.
+func (s *Solver) Solve() Status {
+	s.reset()
+	return s.optimize()
+}
+
+// ReOptimize re-optimizes from the current basis, typically after
+// SetBound calls. It is equivalent to Solve but usually far cheaper.
+func (s *Solver) ReOptimize() Status {
+	return s.optimize()
+}
+
+// optimize dispatches to primal/dual simplex based on which
+// feasibility the current basis retains.
+func (s *Solver) optimize() Status {
+	s.bland = false
+	s.degRun = 0
+	dualOK := s.dualFeasible()
+	primalOK := s.primalFeasible()
+	var st Status
+	switch {
+	case primalOK && dualOK:
+		st = StatusOptimal
+	case dualOK:
+		st = s.dualSimplex()
+	case primalOK:
+		st = s.primalSimplex()
+	default:
+		st = s.phase1()
+		if st == StatusOptimal {
+			st = s.primalSimplex()
+		}
+	}
+	s.status = st
+	return st
+}
+
+func (s *Solver) primalFeasible() bool {
+	for i := 0; i < s.m; i++ {
+		b := s.basis[i]
+		if s.beta[i] < s.lo[b]-feasTol || s.beta[i] > s.hi[b]+feasTol {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) dualFeasible() bool {
+	for j := 0; j < s.ntot; j++ {
+		switch s.vstat[j] {
+		case atLower:
+			if s.d[j] < -optTol && s.hi[j] != s.lo[j] {
+				return false
+			}
+		case atUpper:
+			if s.d[j] > optTol && s.hi[j] != s.lo[j] {
+				return false
+			}
+		case atFree:
+			if math.Abs(s.d[j]) > optTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// phase1 finds a primal feasible basis by running the dual simplex with
+// a zero objective (any basis is dual feasible for c = 0), then restores
+// the true reduced costs.
+func (s *Solver) phase1() Status {
+	for j := range s.d {
+		s.d[j] = 0
+	}
+	st := s.dualSimplex()
+	// restore d = c - c_B^T (B^{-1} A)
+	copy(s.d, s.c)
+	for i := 0; i < s.m; i++ {
+		cb := s.c[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		trow := s.tab[i*s.ntot : (i+1)*s.ntot]
+		for j := 0; j < s.ntot; j++ {
+			if trow[j] != 0 {
+				s.d[j] -= cb * trow[j]
+			}
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		s.d[s.basis[i]] = 0
+	}
+	return st
+}
+
+// ReducedCost returns the current reduced cost of structural variable
+// j (meaningful after an optimal solve: nonnegative for variables at
+// lower bound, nonpositive at upper bound, ~0 for basic ones).
+func (s *Solver) ReducedCost(j int) float64 {
+	if j < 0 || j >= s.n {
+		panic(fmt.Sprintf("lp: ReducedCost: bad variable %d", j))
+	}
+	return s.d[j]
+}
+
+// Dual returns the dual value (shadow price) of row i at the current
+// basis: the rate of change of the objective per unit increase of the
+// row's binding bound. Derived from the reduced cost of the row's
+// logical variable.
+func (s *Solver) Dual(i int) float64 {
+	if i < 0 || i >= s.m {
+		panic(fmt.Sprintf("lp: Dual: bad row %d", i))
+	}
+	// the logical variable of row i has cost 0 and column e_i, so its
+	// reduced cost is -y_i
+	return -s.d[s.n+i]
+}
+
+// Residual returns the maximum violation of the original row equations
+// by the solver's current solution — a direct measure of the numerical
+// drift accumulated by incremental tableau updates. A healthy solve
+// stays within a few orders of magnitude of machine epsilon times the
+// problem's coefficient magnitude.
+func (s *Solver) Residual() float64 {
+	worst := 0.0
+	for i := 0; i < s.m; i++ {
+		r := s.origRows[i]
+		v := 0.0
+		for k, j := range r.idx {
+			v += r.val[k] * s.value(j)
+		}
+		// row value must lie in [lo, hi]
+		lo, hi := -s.hi[s.n+i], -s.lo[s.n+i]
+		if v < lo && lo-v > worst {
+			worst = lo - v
+		}
+		if v > hi && v-hi > worst {
+			worst = v - hi
+		}
+	}
+	return worst
+}

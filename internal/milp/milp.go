@@ -1,0 +1,461 @@
+// Package milp implements a branch-and-bound solver for mixed 0-1
+// linear programs over the internal/lp simplex engine.
+//
+// The solver follows the scheme of Kaul & Vemuri (DATE 1998, Section
+// 8): depth-first search over LP relaxations, warm-started by bound
+// changes (dual simplex on dives, primal clean-up on backtracks), with
+// a pluggable branching rule. The paper's contribution — branching on
+// fractional y_tp variables in topological priority order with the
+// 1-branch explored first, then on u_pk — is provided by the core
+// package as a PriorityBrancher; this package also ships naive rules
+// used as ablation baselines.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+const (
+	// StatusOptimal means the incumbent is proved optimal.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no integer-feasible solution exists.
+	StatusInfeasible
+	// StatusFeasible means an incumbent exists but a limit stopped the
+	// proof of optimality.
+	StatusFeasible
+	// StatusLimit means a limit stopped the search before any
+	// incumbent was found.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusFeasible:
+		return "feasible"
+	default:
+		return "limit"
+	}
+}
+
+// intTol is the integrality tolerance.
+const intTol = 1e-6
+
+// Brancher selects the variable to branch on. x is the structural LP
+// solution of the current node and bound reports the node's current
+// variable bounds. It returns the column to branch on and whether the
+// 1-branch is explored first; col < 0 delegates to the default
+// most-fractional rule over the declared integer variables.
+type Brancher interface {
+	Select(x []float64, bound func(col int) (lo, hi float64)) (col int, oneFirst bool)
+}
+
+// BrancherFunc adapts a function to the Brancher interface.
+type BrancherFunc func(x []float64, bound func(col int) (lo, hi float64)) (int, bool)
+
+// Select implements Brancher.
+func (f BrancherFunc) Select(x []float64, bound func(col int) (lo, hi float64)) (int, bool) {
+	return f(x, bound)
+}
+
+// Options configure a solve.
+type Options struct {
+	// IntVars lists the columns that must be integral (0-1 variables;
+	// general integers are not supported). Must be non-empty.
+	IntVars []int
+	// Brancher selects branching variables; nil uses most-fractional.
+	Brancher Brancher
+	// ObjIntegral declares that every integer-feasible solution has an
+	// integral objective, enabling ceil-rounding of LP bounds.
+	ObjIntegral bool
+	// InitialUpper primes the incumbent objective with the objective
+	// of a known feasible solution, e.g. from a heuristic (+Inf when
+	// 0). Subtrees that cannot beat it are pruned; if nothing beats
+	// it, the result is StatusInfeasible with a nil X, meaning "no
+	// solution strictly better than InitialUpper exists".
+	InitialUpper float64
+	// MaxNodes limits explored nodes; 0 means no limit.
+	MaxNodes int
+	// TimeLimit bounds wall-clock time; 0 means no limit.
+	TimeLimit time.Duration
+	// Complete, when set, is called after the Brancher reports no
+	// fractional variable among the columns it watches. It derives the
+	// values of auxiliary integer variables implied by the decision
+	// variables and returns the completed solution (or nil to decline).
+	// A feasible completed point becomes the incumbent immediately,
+	// avoiding branching on implied variables. The solver verifies
+	// feasibility and integrality of the returned point independently.
+	Complete func(x []float64) []float64
+	// Probe, when set, is called at every node before branching with
+	// the LP solution and an accessor for the node's variable bounds.
+	// It may return a candidate solution xc (feasible for the ORIGINAL
+	// problem — the solver validates feasibility and integrality but
+	// not the node's branching bounds, since any global feasible point
+	// is a valid incumbent), and/or exhausted=true asserting that the
+	// node's subtree provably contains no feasible point. Returning
+	// exhausted without such a proof makes the search unsound.
+	Probe func(x []float64, bound func(col int) (lo, hi float64)) (xc []float64, exhausted bool)
+}
+
+// Result reports a solve.
+type Result struct {
+	Status    Status
+	X         []float64 // incumbent solution (nil unless Feasible/Optimal)
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes whose LP was solved.
+	Nodes int
+	// LPIterations is the total simplex pivot count.
+	LPIterations int
+	// Runtime is the wall-clock duration of the solve.
+	Runtime time.Duration
+	// BestBound is the proved lower bound on the optimum.
+	BestBound float64
+}
+
+type solver struct {
+	lps      *lp.Solver
+	prob     *lp.Problem
+	opt      Options
+	isInt    []bool
+	incObj   float64
+	incX     []float64
+	nodes    int
+	deadline time.Time
+	stopped  bool
+}
+
+// Solve runs branch and bound on p.
+func Solve(p *lp.Problem, opt Options) (*Result, error) {
+	if len(opt.IntVars) == 0 {
+		return nil, fmt.Errorf("milp: no integer variables declared")
+	}
+	lps, err := lp.NewSolver(p)
+	if err != nil {
+		return nil, err
+	}
+	s := &solver{lps: lps, prob: p, opt: opt, isInt: make([]bool, p.NumVars())}
+	for _, j := range opt.IntVars {
+		if j < 0 || j >= p.NumVars() {
+			return nil, fmt.Errorf("milp: integer variable %d out of range", j)
+		}
+		lo, hi := p.Bounds(j)
+		if lo < -intTol || hi > 1+intTol {
+			return nil, fmt.Errorf("milp: integer variable %d (%s) must be 0-1, bounds [%v,%v]", j, p.VarName(j), lo, hi)
+		}
+		s.isInt[j] = true
+	}
+	s.incObj = math.Inf(1)
+	if opt.InitialUpper != 0 && !math.IsInf(opt.InitialUpper, 1) {
+		s.incObj = opt.InitialUpper
+	}
+	start := time.Now()
+	if opt.TimeLimit > 0 {
+		s.deadline = start.Add(opt.TimeLimit)
+		lps.Deadline = s.deadline // bound individual LP solves too
+	}
+
+	rootStatus := lps.Solve()
+	res := &Result{BestBound: math.Inf(-1)}
+	switch rootStatus {
+	case lp.StatusInfeasible:
+		res.Status = StatusInfeasible
+		res.Runtime = time.Since(start)
+		res.LPIterations = lps.Iterations
+		return res, nil
+	case lp.StatusUnbounded:
+		return nil, fmt.Errorf("milp: LP relaxation is unbounded")
+	case lp.StatusIterLimit:
+		// deadline or iteration cap during the root solve: report an
+		// inconclusive run instead of an error
+		res.Status = StatusLimit
+		res.Runtime = time.Since(start)
+		res.LPIterations = lps.Iterations
+		return res, nil
+	}
+	res.BestBound = lps.Objective()
+	s.branch(lp.StatusOptimal)
+
+	res.Nodes = s.nodes
+	res.LPIterations = lps.Iterations
+	res.Runtime = time.Since(start)
+	switch {
+	case s.incX == nil && s.stopped:
+		res.Status = StatusLimit
+	case s.incX == nil:
+		res.Status = StatusInfeasible
+	case s.stopped:
+		res.Status = StatusFeasible
+	default:
+		res.Status = StatusOptimal
+	}
+	if s.incX != nil {
+		res.X = s.incX
+		res.Objective = s.incObj
+		if !s.stopped {
+			res.BestBound = s.incObj
+		}
+	}
+	return res, nil
+}
+
+// bound returns the pruning bound of the current LP objective,
+// ceil-rounded when the objective is known integral.
+func (s *solver) bound(z float64) float64 {
+	if s.opt.ObjIntegral {
+		return math.Ceil(z - 1e-6)
+	}
+	return z
+}
+
+// branch explores the current node (whose LP relaxation has already
+// been solved with the given status) and its subtree, restoring all
+// bound changes before returning.
+func (s *solver) branch(st lp.Status) {
+	s.nodes++
+	if s.limitHit() {
+		s.stopped = true
+		return
+	}
+	if st == lp.StatusInfeasible {
+		return
+	}
+	if st == lp.StatusIterLimit {
+		// treat as unresolved: cannot prune, cannot trust; re-solve
+		// from scratch once, then give up on this subtree if it
+		// persists (counted as a stop so optimality is not claimed).
+		if s.lps.Solve() == lp.StatusIterLimit {
+			s.stopped = true
+			return
+		}
+		st = s.lps.Status()
+		if st == lp.StatusInfeasible {
+			return
+		}
+	}
+	z := s.lps.Objective()
+	if s.bound(z) >= s.incObj-1e-9 {
+		return // dominated
+	}
+	x := s.lps.Solution()
+	if s.opt.Probe != nil {
+		xc, exhausted := s.opt.Probe(x, s.lps.Bound)
+		if xc != nil && s.acceptCandidate(xc, z, false) {
+			return // candidate matches the node bound: subtree fathomed
+		}
+		if exhausted {
+			return
+		}
+	}
+	col, oneFirst := -1, true
+	if s.opt.Brancher != nil {
+		col, oneFirst = s.opt.Brancher.Select(x, s.lps.Bound)
+	}
+	if col < 0 && s.opt.Complete != nil {
+		if xc := s.opt.Complete(x); xc != nil && s.acceptCandidate(xc, z, true) {
+			return
+		}
+	}
+	if col < 0 {
+		col, oneFirst = s.mostFractional(x)
+	}
+	if col < 0 {
+		// integer feasible: new incumbent. Guard against numerical
+		// drift of the incrementally-updated tableau by re-checking
+		// the point against the original problem data; on failure,
+		// re-solve this node's LP from a fresh basis once and resume
+		// (the fresh vertex may be fractional again, so re-branch).
+		if err := s.prob.Feasible(x, 1e-5); err != nil {
+			switch s.lps.Solve() {
+			case lp.StatusInfeasible:
+				return
+			case lp.StatusOptimal:
+				x = s.lps.Solution()
+				z = s.lps.Objective()
+				if s.prob.Feasible(x, 1e-5) != nil {
+					return // still inconsistent: do not trust this node
+				}
+				if s.bound(z) >= s.incObj-1e-9 {
+					return
+				}
+				col, oneFirst = s.mostFractional(x)
+			default:
+				return
+			}
+		}
+		if col < 0 {
+			obj := z
+			if s.opt.ObjIntegral {
+				obj = math.Round(obj)
+			}
+			if obj < s.incObj-1e-9 {
+				s.incObj = obj
+				s.incX = x
+			}
+			return
+		}
+	}
+	first, second := 1.0, 0.0
+	if !oneFirst {
+		first, second = 0.0, 1.0
+	}
+	for _, v := range [2]float64{first, second} {
+		lo, hi := s.lps.Bound(col)
+		if v < lo-intTol || v > hi+intTol {
+			continue // value already excluded on this path
+		}
+		s.lps.SetBound(col, v, v)
+		cst := s.lps.ReOptimize()
+		s.branch(cst)
+		s.lps.SetBound(col, lo, hi)
+		if s.stopped {
+			return
+		}
+	}
+}
+
+// acceptCandidate validates a candidate point and installs it as the
+// incumbent when it is integral, feasible and improving. It reports
+// whether the subtree is fathomed: the point must be valid AND its
+// objective must match the node's LP bound (otherwise a better integer
+// point could hide below it and branching must continue). When
+// inNode is set the candidate must also respect the node's branching
+// bounds (the Complete contract); Probe candidates only need global
+// feasibility.
+func (s *solver) acceptCandidate(xc []float64, nodeBound float64, inNode bool) bool {
+	if len(xc) != len(s.isInt) {
+		return false
+	}
+	for j, isInt := range s.isInt {
+		if isInt && isFrac(xc[j]) {
+			return false
+		}
+	}
+	if inNode {
+		// Feasible checks only the problem's original bounds, so check
+		// the solver's current (branching) ones too.
+		for j := range xc {
+			lo, hi := s.lps.Bound(j)
+			if xc[j] < lo-intTol || xc[j] > hi+intTol {
+				return false
+			}
+		}
+	}
+	if err := s.prob.Feasible(xc, 1e-6); err != nil {
+		return false
+	}
+	obj := s.prob.Objective(xc)
+	if s.opt.ObjIntegral {
+		obj = math.Round(obj)
+	}
+	if obj < s.incObj-1e-9 {
+		s.incObj = obj
+		s.incX = append([]float64(nil), xc...)
+	}
+	return obj <= nodeBound+1e-6*(1+math.Abs(nodeBound))
+}
+
+// mostFractional picks the declared integer variable whose value is
+// closest to 0.5, preferring the 1-branch when the fraction is >= 0.5.
+func (s *solver) mostFractional(x []float64) (int, bool) {
+	best, bestDist := -1, 0.5-intTol
+	oneFirst := true
+	for j, isInt := range s.isInt {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		frac := math.Min(f, 1-f)
+		if frac <= intTol {
+			continue
+		}
+		d := 0.5 - frac // smaller = more fractional
+		if best < 0 || d < bestDist {
+			best, bestDist = j, d
+			oneFirst = x[j] >= 0.5
+		}
+	}
+	return best, oneFirst
+}
+
+func (s *solver) limitHit() bool {
+	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%16 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// FirstFractional returns a Brancher that picks the lowest-index
+// fractional variable among cols — the "leave it to the solver" naive
+// baseline of the paper's Section 8 comparison.
+func FirstFractional(cols []int) Brancher {
+	watch := append([]int(nil), cols...)
+	return BrancherFunc(func(x []float64, _ func(int) (float64, float64)) (int, bool) {
+		for _, j := range watch {
+			if isFrac(x[j]) {
+				return j, x[j] >= 0.5
+			}
+		}
+		return -1, true
+	})
+}
+
+// MostFractional returns a Brancher picking the variable closest to
+// 0.5 among cols.
+func MostFractional(cols []int) Brancher {
+	watch := append([]int(nil), cols...)
+	return BrancherFunc(func(x []float64, _ func(int) (float64, float64)) (int, bool) {
+		best, bestFrac := -1, intTol
+		for _, j := range watch {
+			f := x[j] - math.Floor(x[j])
+			frac := math.Min(f, 1-f)
+			if frac > bestFrac {
+				best, bestFrac = j, frac
+			}
+		}
+		if best < 0 {
+			return -1, true
+		}
+		return best, x[best] >= 0.5
+	})
+}
+
+// PriorityBrancher branches on the first fractional variable in tiers:
+// tier order first, then position within the tier, always taking the
+// 1-branch first — the generalization of the paper's y-then-u rule.
+func PriorityBrancher(tiers ...[]int) Brancher {
+	copied := make([][]int, len(tiers))
+	for i, t := range tiers {
+		copied[i] = append([]int(nil), t...)
+	}
+	return BrancherFunc(func(x []float64, _ func(int) (float64, float64)) (int, bool) {
+		for _, tier := range copied {
+			for _, j := range tier {
+				if isFrac(x[j]) {
+					return j, true // paper: always explore the 1-branch first
+				}
+			}
+		}
+		return -1, true
+	})
+}
+
+func isFrac(v float64) bool {
+	f := v - math.Floor(v)
+	if f > 0.5 {
+		f = 1 - f
+	}
+	return f > intTol
+}

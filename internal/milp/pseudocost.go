@@ -1,0 +1,89 @@
+package milp
+
+import "math"
+
+// PseudoCost is a stateful brancher implementing classic pseudo-cost
+// branching: it learns, per column, how much the LP bound degrades
+// when branching that column up or down, and picks the fractional
+// column with the best expected degradation product. Columns without
+// history fall back to most-fractional scoring.
+//
+// A PseudoCost value must not be shared between concurrent solves.
+type PseudoCost struct {
+	watch []int
+	// learned sums and counts per column
+	upSum, downSum     map[int]float64
+	upCount, downCount map[int]int
+
+	// bookkeeping for the observation hook
+	lastCol   int
+	lastFrac  float64
+	lastBound float64
+}
+
+// NewPseudoCost creates a pseudo-cost brancher over the given columns.
+func NewPseudoCost(cols []int) *PseudoCost {
+	return &PseudoCost{
+		watch:     append([]int(nil), cols...),
+		upSum:     map[int]float64{},
+		downSum:   map[int]float64{},
+		upCount:   map[int]int{},
+		downCount: map[int]int{},
+		lastCol:   -1,
+	}
+}
+
+// Select implements Brancher.
+func (pc *PseudoCost) Select(x []float64, _ func(int) (float64, float64)) (int, bool) {
+	best, bestScore := -1, -1.0
+	for _, j := range pc.watch {
+		f := x[j] - math.Floor(x[j])
+		frac := math.Min(f, 1-f)
+		if frac <= intTol {
+			continue
+		}
+		up := pc.estimate(pc.upSum[j], pc.upCount[j])
+		down := pc.estimate(pc.downSum[j], pc.downCount[j])
+		// product rule with epsilon guard (Achterberg's score)
+		score := math.Max(up*(1-f), 1e-6) * math.Max(down*f, 1e-6) * (0.5 + frac)
+		if score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	if best >= 0 {
+		pc.lastCol = best
+		pc.lastFrac = x[best] - math.Floor(x[best])
+	}
+	return best, best >= 0 && x[best] >= 0.5
+}
+
+func (pc *PseudoCost) estimate(sum float64, count int) float64 {
+	if count == 0 {
+		return 1 // uninformed prior
+	}
+	return sum / float64(count)
+}
+
+// Observe records the LP bound degradation of the child of the last
+// selected column. up reports whether the 1-branch was taken; parent
+// and child are the LP bounds before and after. Callers (the solver's
+// owner) may wire this through instrumentation; the brancher also
+// works without observations, degrading to most-fractional behavior.
+func (pc *PseudoCost) Observe(col int, up bool, parent, child float64) {
+	gain := child - parent
+	if gain < 0 {
+		gain = 0
+	}
+	if up {
+		denom := 1 - pc.lastFrac
+		if col == pc.lastCol && denom > intTol {
+			pc.upSum[col] += gain / denom
+			pc.upCount[col]++
+		}
+		return
+	}
+	if col == pc.lastCol && pc.lastFrac > intTol {
+		pc.downSum[col] += gain / pc.lastFrac
+		pc.downCount[col]++
+	}
+}

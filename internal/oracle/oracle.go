@@ -1,0 +1,171 @@
+// Package oracle provides an exhaustive optimal solver for tiny
+// temporal-partitioning instances. It enumerates every task-to-segment
+// assignment and certifies synthesizability by exact backtracking over
+// operation placements. Exponential by design — it exists purely to
+// certify the ILP pipeline's optimality in tests.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/sched"
+)
+
+// Limits guard against accidentally invoking the oracle on instances
+// it cannot enumerate.
+const (
+	maxTasks = 6
+	maxOps   = 10
+)
+
+// Result is the oracle's verdict.
+type Result struct {
+	// Feasible reports whether any assignment synthesizes.
+	Feasible bool
+	// Comm is the minimal communication cost over all feasible
+	// assignments (valid only when Feasible).
+	Comm int
+	// Assignments is the number of task assignments enumerated.
+	Assignments int
+}
+
+// Solve exhaustively optimizes the instance: N segments, latency
+// relaxation L, unit-latency operations.
+func Solve(g *graph.Graph, alloc *library.Allocation, dev library.Device, N, L int) (*Result, error) {
+	if g.NumTasks() > maxTasks || g.NumOps() > maxOps {
+		return nil, fmt.Errorf("oracle: instance too large (%d tasks, %d ops)", g.NumTasks(), g.NumOps())
+	}
+	w, err := sched.ComputeWindows(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	nt := g.NumTasks()
+	assign := make([]int, nt)
+	var rec func(t int)
+	best := -1
+	rec = func(t int) {
+		if t == nt {
+			res.Assignments++
+			cost := sched.CommCost(g, assign)
+			if best >= 0 && cost >= best {
+				return // cannot improve
+			}
+			if !checkAssignment(g, dev, assign, N) {
+				return
+			}
+			if synthesizable(g, alloc, dev, w, assign, L) {
+				best = cost
+			}
+			return
+		}
+		for p := 1; p <= N; p++ {
+			ok := true
+			for _, pred := range g.TaskPred(t) {
+				if pred < t && assign[pred] > p {
+					ok = false
+					break
+				}
+			}
+			// note: predecessors with larger IDs are checked at the leaf
+			if !ok {
+				continue
+			}
+			assign[t] = p
+			rec(t + 1)
+		}
+		assign[t] = 0
+	}
+	rec(0)
+	if best >= 0 {
+		res.Feasible = true
+		res.Comm = best
+	}
+	return res, nil
+}
+
+// checkAssignment verifies order and memory constraints.
+func checkAssignment(g *graph.Graph, dev library.Device, assign []int, N int) bool {
+	for _, e := range g.TaskEdges() {
+		if assign[e.From] > assign[e.To] {
+			return false
+		}
+	}
+	for p := 2; p <= N; p++ {
+		if sched.MemoryAt(g, assign, p) > dev.ScratchMem {
+			return false
+		}
+	}
+	return true
+}
+
+// synthesizable runs exact backtracking over (step, unit) placements
+// for all operations under the given task assignment.
+func synthesizable(g *graph.Graph, alloc *library.Allocation, dev library.Device, w *sched.Windows, assign []int, L int) bool {
+	order, err := g.TopoOps()
+	if err != nil {
+		return false
+	}
+	no := g.NumOps()
+	step := make([]int, no)
+	stepOwner := map[int]int{} // step -> partition
+	busy := map[[2]int]bool{}  // (step, unit) occupied
+	usedFG := make([]int, len(assign)+2)
+	partUnits := make([]map[int]bool, len(assign)+2)
+	for i := range partUnits {
+		partUnits[i] = map[int]bool{}
+	}
+	var rec func(n int) bool
+	rec = func(n int) bool {
+		if n == no {
+			return true
+		}
+		i := order[n]
+		p := assign[g.Op(i).Task]
+		lo := w.ASAP[i]
+		for _, pr := range g.OpPred(i) {
+			if step[pr]+1 > lo {
+				lo = step[pr] + 1
+			}
+		}
+		for j := lo; j <= w.ALAP[i]+L; j++ {
+			if q, owned := stepOwner[j]; owned && q != p {
+				continue
+			}
+			for _, k := range alloc.UnitsFor(g.Op(i).Kind) {
+				if busy[[2]int{j, k}] {
+					continue
+				}
+				newUnit := !partUnits[p][k]
+				if newUnit && !dev.Fits(usedFG[p]+alloc.Unit(k).Type.FG) {
+					continue
+				}
+				// place
+				step[i] = j
+				_, hadOwner := stepOwner[j]
+				stepOwner[j] = p
+				busy[[2]int{j, k}] = true
+				if newUnit {
+					partUnits[p][k] = true
+					usedFG[p] += alloc.Unit(k).Type.FG
+				}
+				if rec(n + 1) {
+					return true
+				}
+				// undo
+				if newUnit {
+					delete(partUnits[p], k)
+					usedFG[p] -= alloc.Unit(k).Type.FG
+				}
+				delete(busy, [2]int{j, k})
+				if !hadOwner {
+					delete(stepOwner, j)
+				}
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+func alloc111(t *testing.T) *library.Allocation {
+	t.Helper()
+	a, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSolveForcedSplit(t *testing.T) {
+	g := graph.New("s")
+	t0 := g.AddTask("t0")
+	t1 := g.AddTask("t1")
+	a := g.AddOp(t0, graph.OpAdd, "")
+	b := g.AddOp(t1, graph.OpMul, "")
+	g.Connect(a, b, 3)
+	dev := library.Device{Name: "tiny", CapacityFG: 96, Alpha: 1.0, ScratchMem: 64}
+	res, err := Solve(g, alloc111(t), dev, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Comm != 3 {
+		t.Fatalf("feasible=%v comm=%d, want true/3", res.Feasible, res.Comm)
+	}
+	if res.Assignments == 0 {
+		t.Fatal("no assignments enumerated")
+	}
+}
+
+func TestSolveSingleSegment(t *testing.T) {
+	g := graph.New("s1")
+	t0 := g.AddTask("t0")
+	t1 := g.AddTask("t1")
+	a := g.AddOp(t0, graph.OpAdd, "")
+	b := g.AddOp(t1, graph.OpSub, "")
+	g.Connect(a, b, 5)
+	res, err := Solve(g, alloc111(t), library.XC4025(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Comm != 0 {
+		t.Fatalf("feasible=%v comm=%d, want true/0", res.Feasible, res.Comm)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// two parallel muls, one multiplier, one step budget
+	g := graph.New("inf")
+	t0 := g.AddTask("t0")
+	g.AddOp(t0, graph.OpMul, "")
+	g.AddOp(t0, graph.OpMul, "")
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, alloc, library.XC4025(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("should be infeasible at L=0")
+	}
+}
+
+func TestSolveMemoryBound(t *testing.T) {
+	g := graph.New("m")
+	t0 := g.AddTask("t0")
+	t1 := g.AddTask("t1")
+	a := g.AddOp(t0, graph.OpAdd, "")
+	b := g.AddOp(t1, graph.OpMul, "")
+	g.Connect(a, b, 10)
+	// device forces a split but scratch cannot hold the 10 units
+	dev := library.Device{Name: "tiny", CapacityFG: 96, Alpha: 1.0, ScratchMem: 4}
+	res, err := Solve(g, alloc111(t), dev, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("memory bound should make every split infeasible")
+	}
+}
+
+func TestSolveRejectsLargeInstances(t *testing.T) {
+	g := graph.New("big")
+	t0 := g.AddTask("t0")
+	for i := 0; i < 20; i++ {
+		g.AddOp(t0, graph.OpAdd, "")
+	}
+	if _, err := Solve(g, alloc111(t), library.XC4025(), 2, 1); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}

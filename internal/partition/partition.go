@@ -1,0 +1,132 @@
+// Package partition defines the result of combined temporal
+// partitioning and synthesis — task-to-segment assignment, operation
+// schedule and functional-unit binding — together with an independent
+// constraint verifier used as the oracle in tests and as a safety net
+// after every ILP solve.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// Solution is a complete temporal partitioning and synthesis result.
+type Solution struct {
+	// N is the number of temporal segments made available to the
+	// solution (the upper bound of the formulation). Segment indices
+	// are 1..N; fewer than N may actually be used.
+	N int
+	// TaskPartition[t] is the 1-based segment of task t.
+	TaskPartition []int
+	// OpStep[i] is the 1-based control step operation i starts in.
+	OpStep []int
+	// OpUnit[i] is the FU instance operation i is bound to.
+	OpUnit []int
+	// Comm is the objective value: total data units stored across all
+	// segment boundaries (eq. 14).
+	Comm int
+}
+
+// UsedPartitions returns the number of distinct segments in use.
+func (s *Solution) UsedPartitions() int {
+	seen := map[int]bool{}
+	for _, p := range s.TaskPartition {
+		seen[p] = true
+	}
+	return len(seen)
+}
+
+// CommCost recomputes the objective from the task assignment.
+func (s *Solution) CommCost(g *graph.Graph) int {
+	cost := 0
+	for _, e := range g.TaskEdges() {
+		if d := s.TaskPartition[e.To] - s.TaskPartition[e.From]; d > 0 {
+			cost += e.Bandwidth * d
+		}
+	}
+	return cost
+}
+
+// MemoryAt returns the scratch-memory demand at segment boundary p
+// (data live across the cut between segments p-1 and p).
+func (s *Solution) MemoryAt(g *graph.Graph, p int) int {
+	m := 0
+	for _, e := range g.TaskEdges() {
+		if s.TaskPartition[e.From] < p && s.TaskPartition[e.To] >= p {
+			m += e.Bandwidth
+		}
+	}
+	return m
+}
+
+// SegmentTasks returns the task IDs of segment p in ascending order.
+func (s *Solution) SegmentTasks(p int) []int {
+	var out []int
+	for t, sp := range s.TaskPartition {
+		if sp == p {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SegmentUnits returns the FU instance IDs actually used by segment p.
+func (s *Solution) SegmentUnits(g *graph.Graph, p int) []int {
+	seen := map[int]bool{}
+	for i := range s.OpStep {
+		if s.TaskPartition[g.Op(i).Task] == p && s.OpUnit[i] >= 0 {
+			seen[s.OpUnit[i]] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SegmentFG returns the FG footprint of the units used by segment p.
+func (s *Solution) SegmentFG(g *graph.Graph, alloc *library.Allocation, p int) int {
+	fg := 0
+	for _, u := range s.SegmentUnits(g, p) {
+		fg += alloc.Unit(u).Type.FG
+	}
+	return fg
+}
+
+// Report renders a human-readable summary.
+func (s *Solution) Report(g *graph.Graph, alloc *library.Allocation) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "solution: %d/%d segments used, comm cost %d\n", s.UsedPartitions(), s.N, s.Comm)
+	for p := 1; p <= s.N; p++ {
+		tasks := s.SegmentTasks(p)
+		if len(tasks) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "segment %d: tasks %v, %d FG", p, tasks, s.SegmentFG(g, alloc, p))
+		if p >= 2 {
+			fmt.Fprintf(&sb, ", %d data units in", s.MemoryAt(g, p))
+		}
+		sb.WriteByte('\n')
+		var ops []int
+		for _, t := range tasks {
+			ops = append(ops, g.Task(t).Ops...)
+		}
+		sort.Slice(ops, func(a, b int) bool {
+			if s.OpStep[ops[a]] != s.OpStep[ops[b]] {
+				return s.OpStep[ops[a]] < s.OpStep[ops[b]]
+			}
+			return ops[a] < ops[b]
+		})
+		for _, o := range ops {
+			fmt.Fprintf(&sb, "  step %2d  op %3d (%-4s)  on %s\n",
+				s.OpStep[o], o, g.Op(o).Kind, alloc.Unit(s.OpUnit[o]).Name)
+		}
+	}
+	return sb.String()
+}

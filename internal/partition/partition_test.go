@@ -1,0 +1,223 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// fixture: two tasks, t0 (add, mul) -> t1 (sub) with bandwidth 4.
+func fixture(t *testing.T) (*graph.Graph, *library.Allocation, library.Device) {
+	t.Helper()
+	g := graph.New("fx")
+	t0 := g.AddTask("t0")
+	t1 := g.AddTask("t1")
+	a := g.AddOp(t0, graph.OpAdd, "a")
+	b := g.AddOp(t0, graph.OpMul, "b")
+	c := g.AddOp(t1, graph.OpSub, "c")
+	g.AddOpEdge(a, b)
+	g.Connect(b, c, 4)
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, alloc, library.XC4025()
+}
+
+// goodSolution: both tasks in segment 1, schedule a@1, b@2, c@3.
+func goodSolution() *Solution {
+	return &Solution{
+		N:             2,
+		TaskPartition: []int{1, 1},
+		OpStep:        []int{1, 2, 3},
+		OpUnit:        []int{0, 1, 2}, // add16#0, mul16#0, sub16#0
+		Comm:          0,
+	}
+}
+
+func TestVerifyAccepts(t *testing.T) {
+	g, alloc, dev := fixture(t)
+	if err := Verify(g, alloc, dev, goodSolution(), VerifyOptions{L: 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySplitSolution(t *testing.T) {
+	g, alloc, dev := fixture(t)
+	s := &Solution{
+		N:             2,
+		TaskPartition: []int{1, 2},
+		OpStep:        []int{1, 2, 3},
+		OpUnit:        []int{0, 1, 2},
+		Comm:          4,
+	}
+	if err := Verify(g, alloc, dev, s, VerifyOptions{L: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedPartitions() != 2 {
+		t.Fatal("used partitions")
+	}
+	if s.MemoryAt(g, 2) != 4 {
+		t.Fatalf("memory at 2 = %d", s.MemoryAt(g, 2))
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	g, alloc, dev := fixture(t)
+	cases := []struct {
+		name   string
+		mutate func(*Solution)
+		opt    VerifyOptions
+	}{
+		{"segment out of range", func(s *Solution) { s.TaskPartition[0] = 3 }, VerifyOptions{}},
+		{"order violated", func(s *Solution) { s.TaskPartition[0] = 2; s.TaskPartition[1] = 1 }, VerifyOptions{}},
+		{"window violated", func(s *Solution) { s.OpStep[0] = 2 }, VerifyOptions{}}, // op a has window [1,1] at L=0
+		{"bad unit", func(s *Solution) { s.OpUnit[0] = 99 }, VerifyOptions{}},
+		{"incompatible unit", func(s *Solution) { s.OpUnit[0] = 1 }, VerifyOptions{}},
+		{"dependency violated", func(s *Solution) { s.OpStep[1] = 1; s.OpUnit[1] = 1 }, VerifyOptions{L: 1}},
+		{"comm mismatch", func(s *Solution) { s.Comm = 99 }, VerifyOptions{}},
+		{"shape mismatch", func(s *Solution) { s.OpStep = s.OpStep[:2] }, VerifyOptions{}},
+	}
+	for _, tc := range cases {
+		s := goodSolution()
+		tc.mutate(s)
+		if err := Verify(g, alloc, dev, s, tc.opt); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestVerifyUnitConflict(t *testing.T) {
+	g := graph.New("c")
+	t0 := g.AddTask("t0")
+	g.AddOp(t0, graph.OpAdd, "")
+	g.AddOp(t0, graph.OpAdd, "")
+	alloc, _ := library.PaperAllocation(library.DefaultLibrary(), 1, 0, 0)
+	s := &Solution{
+		N:             1,
+		TaskPartition: []int{1},
+		OpStep:        []int{1, 1},
+		OpUnit:        []int{0, 0},
+		Comm:          0,
+	}
+	if err := Verify(g, alloc, library.XC4025(), s, VerifyOptions{L: 1}); err == nil {
+		t.Fatal("same (step,unit) accepted")
+	}
+	s.OpStep[1] = 2
+	if err := Verify(g, alloc, library.XC4025(), s, VerifyOptions{L: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyStepOwnership(t *testing.T) {
+	// two independent tasks in different segments must not share steps
+	g := graph.New("o")
+	t0 := g.AddTask("t0")
+	t1 := g.AddTask("t1")
+	g.AddOp(t0, graph.OpAdd, "")
+	g.AddOp(t1, graph.OpAdd, "")
+	alloc, _ := library.PaperAllocation(library.DefaultLibrary(), 2, 0, 0)
+	s := &Solution{
+		N:             2,
+		TaskPartition: []int{1, 2},
+		OpStep:        []int{1, 1},
+		OpUnit:        []int{0, 1},
+		Comm:          0,
+	}
+	if err := Verify(g, alloc, library.XC4025(), s, VerifyOptions{L: 1}); err == nil {
+		t.Fatal("shared step across segments accepted")
+	}
+	s.OpStep[1] = 2
+	if err := Verify(g, alloc, library.XC4025(), s, VerifyOptions{L: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyMemoryLimit(t *testing.T) {
+	g, alloc, _ := fixture(t)
+	dev := library.Device{Name: "small", CapacityFG: 400, Alpha: 0.7, ScratchMem: 3}
+	s := &Solution{
+		N:             2,
+		TaskPartition: []int{1, 2},
+		OpStep:        []int{1, 2, 3},
+		OpUnit:        []int{0, 1, 2},
+		Comm:          4,
+	}
+	if err := Verify(g, alloc, dev, s, VerifyOptions{L: 0}); err == nil {
+		t.Fatal("memory overflow accepted")
+	}
+}
+
+func TestVerifyResourceLimit(t *testing.T) {
+	g, alloc, _ := fixture(t)
+	dev := library.Device{Name: "small", CapacityFG: 40, Alpha: 1.0, ScratchMem: 64}
+	// segment 1 uses add16 (16) + mul16 (96) = 112 FG > 40
+	if err := Verify(g, alloc, dev, goodSolution(), VerifyOptions{L: 0}); err == nil {
+		t.Fatal("resource overflow accepted")
+	}
+}
+
+func TestVerifyMulticycle(t *testing.T) {
+	lib := library.DefaultLibrary()
+	alloc, err := library.NewAllocation(lib, map[string]int{"mul16x2": 1, "add16": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New("mc")
+	t0 := g.AddTask("t0")
+	m := g.AddOp(t0, graph.OpMul, "")
+	a := g.AddOp(t0, graph.OpAdd, "")
+	g.AddOpEdge(m, a)
+	// mul takes 2 cycles on mul16x2 (unit 1); add16 is unit 0
+	s := &Solution{
+		N:             1,
+		TaskPartition: []int{1},
+		OpStep:        []int{1, 3},
+		OpUnit:        []int{1, 0},
+		Comm:          0,
+	}
+	if err := Verify(g, alloc, library.XC4025(), s, VerifyOptions{L: 0, Multicycle: true}); err != nil {
+		t.Fatal(err)
+	}
+	// starting the add at step 2 violates the 2-cycle latency
+	s.OpStep[1] = 2
+	if err := Verify(g, alloc, library.XC4025(), s, VerifyOptions{L: 0, Multicycle: true}); err == nil {
+		t.Fatal("latency violation accepted")
+	}
+}
+
+func TestReport(t *testing.T) {
+	g, alloc, _ := fixture(t)
+	s := goodSolution()
+	rep := s.Report(g, alloc)
+	for _, want := range []string{"segment 1", "add16#0", "mul16#0", "comm cost 0"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSegmentQueries(t *testing.T) {
+	g, alloc, _ := fixture(t)
+	s := &Solution{
+		N:             2,
+		TaskPartition: []int{1, 2},
+		OpStep:        []int{1, 2, 3},
+		OpUnit:        []int{0, 1, 2},
+		Comm:          4,
+	}
+	if got := s.SegmentTasks(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("SegmentTasks(1) = %v", got)
+	}
+	if got := s.SegmentUnits(g, 1); len(got) != 2 {
+		t.Fatalf("SegmentUnits(1) = %v", got)
+	}
+	if fg := s.SegmentFG(g, alloc, 1); fg != 16+96 {
+		t.Fatalf("SegmentFG(1) = %d", fg)
+	}
+	if c := s.CommCost(g); c != 4 {
+		t.Fatalf("CommCost = %d", c)
+	}
+}

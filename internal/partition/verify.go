@@ -1,0 +1,159 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/sched"
+)
+
+// VerifyOptions parameterize the constraint check.
+type VerifyOptions struct {
+	// L is the latency relaxation used when the solution was produced.
+	L int
+	// Windows are the mobility windows of the instance; nil recomputes
+	// them with unit durations.
+	Windows *sched.Windows
+	// Multicycle honors FU latencies (>1) in dependency and occupancy
+	// checks; otherwise every op takes one step.
+	Multicycle bool
+}
+
+// Verify checks a solution against every constraint of the formulation
+// from first principles — independently of the ILP model:
+//
+//	uniqueness (1), temporal order (2), scratch memory (3), unique op
+//	assignment (6), FU conflicts (7), dependencies (8), resource
+//	capacity (11), control-step ownership (12)+(13), and window/
+//	compatibility consistency.
+//
+// It also recomputes the communication cost and compares it with
+// s.Comm.
+func Verify(g *graph.Graph, alloc *library.Allocation, dev library.Device, s *Solution, opt VerifyOptions) error {
+	nt, no := g.NumTasks(), g.NumOps()
+	if len(s.TaskPartition) != nt || len(s.OpStep) != no || len(s.OpUnit) != no {
+		return fmt.Errorf("partition: solution shape mismatch")
+	}
+	// (1) uniqueness: every task has a segment in 1..N
+	for t, p := range s.TaskPartition {
+		if p < 1 || p > s.N {
+			return fmt.Errorf("partition: task %d in segment %d outside 1..%d", t, p, s.N)
+		}
+	}
+	// (2) temporal order
+	for _, e := range g.TaskEdges() {
+		if s.TaskPartition[e.From] > s.TaskPartition[e.To] {
+			return fmt.Errorf("partition: task order violated: %d (seg %d) -> %d (seg %d)",
+				e.From, s.TaskPartition[e.From], e.To, s.TaskPartition[e.To])
+		}
+	}
+	// (3) scratch memory at every boundary
+	for p := 2; p <= s.N; p++ {
+		if m := s.MemoryAt(g, p); m > dev.ScratchMem {
+			return fmt.Errorf("partition: boundary %d stores %d > Ms=%d", p, m, dev.ScratchMem)
+		}
+	}
+	w := opt.Windows
+	if w == nil {
+		var err error
+		dur := sched.UnitDuration
+		if opt.Multicycle {
+			dur = MinLatencyDuration(g, alloc)
+		}
+		if w, err = sched.ComputeWindows(g, dur); err != nil {
+			return err
+		}
+	}
+	durOf := func(i int) int {
+		if !opt.Multicycle {
+			return 1
+		}
+		return alloc.Unit(s.OpUnit[i]).Type.Latency
+	}
+	// (6) + windows + compatibility
+	maxStep := w.MaxStep(opt.L)
+	for i := 0; i < no; i++ {
+		j, k := s.OpStep[i], s.OpUnit[i]
+		if j < w.ASAP[i] || j > w.ALAP[i]+opt.L {
+			return fmt.Errorf("partition: op %d at step %d outside window [%d,%d]", i, j, w.ASAP[i], w.ALAP[i]+opt.L)
+		}
+		if k < 0 || k >= alloc.NumUnits() {
+			return fmt.Errorf("partition: op %d bound to invalid unit %d", i, k)
+		}
+		if !alloc.Unit(k).Type.CanExecute(g.Op(i).Kind) {
+			return fmt.Errorf("partition: op %d (%s) bound to incompatible unit %s", i, g.Op(i).Kind, alloc.Unit(k).Name)
+		}
+		if j+durOf(i)-1 > maxStep {
+			return fmt.Errorf("partition: op %d finishes at %d past last step %d", i, j+durOf(i)-1, maxStep)
+		}
+	}
+	// (7) FU occupancy conflicts
+	for i1 := 0; i1 < no; i1++ {
+		for i2 := i1 + 1; i2 < no; i2++ {
+			if s.OpUnit[i1] != s.OpUnit[i2] {
+				continue
+			}
+			ft := alloc.Unit(s.OpUnit[i1]).Type
+			if ft.Pipelined || !opt.Multicycle {
+				if s.OpStep[i1] == s.OpStep[i2] {
+					return fmt.Errorf("partition: ops %d and %d share unit %s at step %d", i1, i2, alloc.Unit(s.OpUnit[i1]).Name, s.OpStep[i1])
+				}
+				continue
+			}
+			a1, b1 := s.OpStep[i1], s.OpStep[i1]+ft.Latency-1
+			a2, b2 := s.OpStep[i2], s.OpStep[i2]+ft.Latency-1
+			if a1 <= b2 && a2 <= b1 {
+				return fmt.Errorf("partition: ops %d and %d overlap on unit %s", i1, i2, alloc.Unit(s.OpUnit[i1]).Name)
+			}
+		}
+	}
+	// (8) dependencies
+	for _, e := range g.OpEdges() {
+		if s.OpStep[e.To] < s.OpStep[e.From]+durOf(e.From) {
+			return fmt.Errorf("partition: dependency %d->%d violated: steps %d,%d (dur %d)",
+				e.From, e.To, s.OpStep[e.From], s.OpStep[e.To], durOf(e.From))
+		}
+	}
+	// (11) resource capacity per segment
+	for p := 1; p <= s.N; p++ {
+		if fg := s.SegmentFG(g, alloc, p); !dev.Fits(fg) {
+			return fmt.Errorf("partition: segment %d uses %d FG, effective %.1f > C=%d",
+				p, fg, dev.EffectiveFG(fg), dev.CapacityFG)
+		}
+	}
+	// (12)+(13): every control step belongs to at most one segment
+	stepOwner := map[int]int{}
+	for i := 0; i < no; i++ {
+		p := s.TaskPartition[g.Op(i).Task]
+		for j := s.OpStep[i]; j <= s.OpStep[i]+durOf(i)-1; j++ {
+			if q, ok := stepOwner[j]; ok && q != p {
+				return fmt.Errorf("partition: step %d used by segments %d and %d", j, q, p)
+			}
+			stepOwner[j] = p
+		}
+	}
+	// objective consistency
+	if got := s.CommCost(g); got != s.Comm {
+		return fmt.Errorf("partition: stored comm %d != recomputed %d", s.Comm, got)
+	}
+	return nil
+}
+
+// MinLatencyDuration returns a Duration giving each op the minimum
+// latency over the allocation units able to execute it — the valid
+// lower bound used for mobility windows in multicycle mode.
+func MinLatencyDuration(g *graph.Graph, alloc *library.Allocation) sched.Duration {
+	return func(i int) int {
+		best := 0
+		for _, u := range alloc.UnitsFor(g.Op(i).Kind) {
+			if l := alloc.Unit(u).Type.Latency; best == 0 || l < best {
+				best = l
+			}
+		}
+		if best == 0 {
+			best = 1
+		}
+		return best
+	}
+}

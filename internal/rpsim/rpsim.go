@@ -1,0 +1,249 @@
+// Package rpsim simulates the execution of a synthesized temporal
+// partitioning solution on a reconfigurable processor: segments are
+// configured one after another, live values crossing segment
+// boundaries are stored to and restored from the on-board scratch
+// memory, and the runtime model accounts reconfiguration and transfer
+// overheads — the costs the paper's objective function (eq. 14) is a
+// proxy for.
+//
+// The simulator executes real dataflow values, so tests can certify
+// that a partitioned execution computes exactly what a direct
+// evaluation of the specification computes.
+package rpsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/partition"
+)
+
+// Eval defines the value semantics of operation kinds. Values are
+// int64 with wrap-around arithmetic.
+func Eval(kind graph.OpKind, args []int64) int64 {
+	if len(args) == 0 {
+		return 1 // source op: neutral seed, callers override via inputs
+	}
+	acc := args[0]
+	for _, v := range args[1:] {
+		switch kind {
+		case graph.OpAdd:
+			acc += v
+		case graph.OpSub:
+			acc -= v
+		case graph.OpMul:
+			acc *= v
+		case graph.OpDiv:
+			if v != 0 {
+				acc /= v
+			}
+		case graph.OpCmp:
+			if acc < v {
+				acc = 1
+			} else {
+				acc = 0
+			}
+		case graph.OpAnd:
+			acc &= v
+		case graph.OpOr:
+			acc |= v
+		case graph.OpShl:
+			acc <<= uint(v) & 7
+		default:
+			acc += v
+		}
+	}
+	if len(args) == 1 {
+		// unary application still transforms the value so bindings
+		// matter in tests
+		switch kind {
+		case graph.OpSub:
+			return -acc
+		case graph.OpMul:
+			return acc * acc
+		}
+	}
+	return acc
+}
+
+// Direct evaluates the specification without partitioning: every op in
+// topological order, inputs[i] overriding the value of source op i.
+func Direct(g *graph.Graph, inputs map[int]int64) (map[int]int64, error) {
+	order, err := g.TopoOps()
+	if err != nil {
+		return nil, err
+	}
+	val := make(map[int]int64, g.NumOps())
+	for _, i := range order {
+		preds := g.OpPred(i)
+		if len(preds) == 0 {
+			if v, ok := inputs[i]; ok {
+				val[i] = v
+			} else {
+				val[i] = Eval(g.Op(i).Kind, nil)
+			}
+			continue
+		}
+		args := make([]int64, len(preds))
+		for n, p := range preds {
+			args[n] = val[p]
+		}
+		val[i] = Eval(g.Op(i).Kind, args)
+	}
+	return val, nil
+}
+
+// Timing is the runtime model of a simulated execution.
+type Timing struct {
+	// Segments is the number of segments actually executed.
+	Segments int
+	// Cycles is the total number of control steps executed.
+	Cycles int
+	// ClockNS is the derived clock period: the slowest FU delay used
+	// anywhere in the design.
+	ClockNS float64
+	// StoredUnits counts data units written to scratch memory over
+	// the whole run; RestoredUnits counts reads.
+	StoredUnits, RestoredUnits int
+	// PeakMemory is the largest number of data units simultaneously
+	// live in scratch memory.
+	PeakMemory int
+	// ComputeNS, ReconfigNS and TransferNS split the total runtime.
+	ComputeNS, ReconfigNS, TransferNS float64
+}
+
+// TotalNS is the modeled wall-clock time of the run.
+func (t Timing) TotalNS() float64 { return t.ComputeNS + t.ReconfigNS + t.TransferNS }
+
+// edgeWeight returns the data units carried from producer to consumer.
+func edgeWeight(g *graph.Graph, from, to int) int {
+	for _, e := range g.OpEdges() {
+		if e.From == from && e.To == to {
+			return e.Weight
+		}
+	}
+	return 1
+}
+
+// Run simulates sol on the device, returning the computed values and
+// the timing breakdown. It fails if the execution would read a value
+// that is neither locally produced nor present in scratch memory, or
+// if scratch occupancy ever exceeds the device capacity — an
+// independent dynamic check of the store/restore story behind eq. (3).
+func Run(g *graph.Graph, alloc *library.Allocation, dev library.Device, sol *partition.Solution, inputs map[int]int64) (map[int]int64, Timing, error) {
+	var tm Timing
+	val := make(map[int]int64, g.NumOps())
+
+	// order segments; empty ones are skipped
+	segOps := make(map[int][]int)
+	for i := 0; i < g.NumOps(); i++ {
+		p := sol.TaskPartition[g.Op(i).Task]
+		segOps[p] = append(segOps[p], i)
+	}
+	var segs []int
+	for p := range segOps {
+		segs = append(segs, p)
+	}
+	sort.Ints(segs)
+
+	// clock: slowest used FU
+	for i := 0; i < g.NumOps(); i++ {
+		if d := alloc.Unit(sol.OpUnit[i]).Type.DelayNS; d > tm.ClockNS {
+			tm.ClockNS = d
+		}
+	}
+
+	mem := map[int]int64{} // scratch: producer op -> value
+	for n, p := range segs {
+		ops := segOps[p]
+		sort.Slice(ops, func(a, b int) bool { return sol.OpStep[ops[a]] < sol.OpStep[ops[b]] })
+		if n > 0 {
+			tm.ReconfigNS += dev.ReconfigNS
+		}
+		// execute in step order
+		first, last := sol.OpStep[ops[0]], sol.OpStep[ops[0]]
+		for _, i := range ops {
+			if sol.OpStep[i] < first {
+				first = sol.OpStep[i]
+			}
+			if sol.OpStep[i] > last {
+				last = sol.OpStep[i]
+			}
+			preds := g.OpPred(i)
+			if len(preds) == 0 {
+				if v, ok := inputs[i]; ok {
+					val[i] = v
+				} else {
+					val[i] = Eval(g.Op(i).Kind, nil)
+				}
+				continue
+			}
+			args := make([]int64, len(preds))
+			for a, pr := range preds {
+				prSeg := sol.TaskPartition[g.Op(pr).Task]
+				switch {
+				case prSeg == p:
+					v, ok := val[pr]
+					if !ok || sol.OpStep[pr] >= sol.OpStep[i] {
+						return nil, tm, fmt.Errorf("rpsim: op %d reads op %d before it executes", i, pr)
+					}
+					args[a] = v
+				default:
+					v, ok := mem[pr]
+					if !ok {
+						return nil, tm, fmt.Errorf("rpsim: op %d (segment %d) needs op %d (segment %d) but scratch has no copy", i, p, pr, prSeg)
+					}
+					args[a] = v
+					units := edgeWeight(g, pr, i)
+					tm.RestoredUnits += units
+					tm.TransferNS += float64(units) * dev.MemXferNSPerUnit
+				}
+			}
+			val[i] = Eval(g.Op(i).Kind, args)
+		}
+		tm.Cycles += last - first + 1
+		tm.Segments++
+		// store values needed by later segments, drop dead ones.
+		// Occupancy is accounted in data units (op-edge weights), the
+		// same units as eq. (3), so the dynamic check mirrors the
+		// static scratch-memory constraint.
+		if n < len(segs)-1 {
+			next := map[int]bool{}
+			occupancy := 0
+			for _, e := range g.OpEdges() {
+				fromSeg := sol.TaskPartition[g.Op(e.From).Task]
+				toSeg := sol.TaskPartition[g.Op(e.To).Task]
+				if fromSeg <= p && toSeg > p {
+					if _, stored := mem[e.From]; !stored {
+						v, ok := val[e.From]
+						if !ok {
+							return nil, tm, fmt.Errorf("rpsim: value of op %d missing at store time", e.From)
+						}
+						mem[e.From] = v
+					}
+					if fromSeg == p {
+						tm.StoredUnits += e.Weight
+						tm.TransferNS += float64(e.Weight) * dev.MemXferNSPerUnit
+					}
+					next[e.From] = true
+					occupancy += e.Weight
+				}
+			}
+			for k := range mem {
+				if !next[k] {
+					delete(mem, k)
+				}
+			}
+			if occupancy > tm.PeakMemory {
+				tm.PeakMemory = occupancy
+			}
+			if occupancy > dev.ScratchMem {
+				return nil, tm, fmt.Errorf("rpsim: scratch holds %d units > Ms=%d after segment %d", occupancy, dev.ScratchMem, p)
+			}
+		}
+	}
+	tm.ComputeNS = float64(tm.Cycles) * tm.ClockNS
+	return val, tm, nil
+}

@@ -1,0 +1,227 @@
+package rpsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/partition"
+	"repro/internal/randgraph"
+)
+
+// split fixture: t0 (add) -> t1 (mul) in separate segments.
+func splitFixture(t *testing.T) (*graph.Graph, *library.Allocation, library.Device, *partition.Solution) {
+	t.Helper()
+	g := graph.New("s")
+	t0 := g.AddTask("t0")
+	t1 := g.AddTask("t1")
+	a := g.AddOp(t0, graph.OpAdd, "")
+	b := g.AddOp(t0, graph.OpAdd, "")
+	c := g.AddOp(t1, graph.OpMul, "")
+	g.AddOpEdge(a, b)
+	g.Connect(b, c, 3)
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := library.XC4025()
+	sol := &partition.Solution{
+		N:             2,
+		TaskPartition: []int{1, 2},
+		OpStep:        []int{1, 2, 3},
+		OpUnit:        []int{0, 0, 1},
+		Comm:          3,
+	}
+	if err := partition.Verify(g, alloc, dev, sol, partition.VerifyOptions{L: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return g, alloc, dev, sol
+}
+
+func TestRunMatchesDirect(t *testing.T) {
+	g, alloc, dev, sol := splitFixture(t)
+	inputs := map[int]int64{0: 7}
+	want, err := Direct(g, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, tm, err := Run(g, alloc, dev, sol, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumOps(); i++ {
+		if got[i] != want[i] {
+			t.Errorf("op %d: run=%d direct=%d", i, got[i], want[i])
+		}
+	}
+	if tm.Segments != 2 {
+		t.Errorf("segments = %d", tm.Segments)
+	}
+	if tm.StoredUnits != 3 || tm.RestoredUnits != 3 {
+		t.Errorf("stored/restored = %d/%d, want 3/3", tm.StoredUnits, tm.RestoredUnits)
+	}
+	if tm.PeakMemory != 3 {
+		t.Errorf("peak = %d, want 3", tm.PeakMemory)
+	}
+	if tm.ReconfigNS != dev.ReconfigNS {
+		t.Errorf("reconfig = %v", tm.ReconfigNS)
+	}
+	if tm.Cycles != 3 {
+		t.Errorf("cycles = %d, want 3", tm.Cycles)
+	}
+	// clock is the slowest used FU (mul16 at 60ns)
+	if tm.ClockNS != 60 {
+		t.Errorf("clock = %v, want 60", tm.ClockNS)
+	}
+	if tm.TotalNS() <= tm.ReconfigNS {
+		t.Error("total must include compute and transfers")
+	}
+}
+
+func TestRunRejectsMemoryOverflow(t *testing.T) {
+	g, alloc, dev, sol := splitFixture(t)
+	dev.ScratchMem = 2 // edge weight 3 exceeds it
+	if _, _, err := Run(g, alloc, dev, sol, nil); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}
+
+func TestRunSingleSegmentNoOverhead(t *testing.T) {
+	g, alloc, dev, sol := splitFixture(t)
+	sol.TaskPartition = []int{1, 1}
+	sol.Comm = 0
+	_, tm, err := Run(g, alloc, dev, sol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.ReconfigNS != 0 || tm.StoredUnits != 0 || tm.TransferNS != 0 {
+		t.Fatalf("single segment should have no overhead: %+v", tm)
+	}
+}
+
+func TestEvalKinds(t *testing.T) {
+	cases := []struct {
+		kind graph.OpKind
+		args []int64
+		want int64
+	}{
+		{graph.OpAdd, []int64{3, 4}, 7},
+		{graph.OpSub, []int64{9, 4}, 5},
+		{graph.OpMul, []int64{3, 4}, 12},
+		{graph.OpDiv, []int64{12, 4}, 3},
+		{graph.OpDiv, []int64{12, 0}, 12},
+		{graph.OpCmp, []int64{1, 2}, 1},
+		{graph.OpCmp, []int64{2, 1}, 0},
+		{graph.OpAnd, []int64{6, 3}, 2},
+		{graph.OpOr, []int64{6, 3}, 7},
+		{graph.OpShl, []int64{1, 3}, 8},
+		{graph.OpSub, []int64{5}, -5},
+		{graph.OpMul, []int64{5}, 25},
+		{graph.OpAdd, nil, 1},
+	}
+	for _, c := range cases {
+		if got := Eval(c.kind, c.args); got != c.want {
+			t.Errorf("Eval(%s, %v) = %d, want %d", c.kind, c.args, got, c.want)
+		}
+	}
+}
+
+// Property: for random tiny instances solved by the optimizer, the
+// simulated partitioned execution matches direct evaluation and stays
+// within the modeled memory bound.
+func TestPropertyRunMatchesDirectOnSolvedInstances(t *testing.T) {
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		g, err := randgraph.Tiny(seed)
+		if err != nil {
+			return false
+		}
+		dev := library.Device{Name: "d", CapacityFG: 130, Alpha: 1.0, ScratchMem: 64}
+		res, err := core.SolveInstance(
+			core.Instance{Graph: g, Alloc: alloc, Device: dev},
+			core.Options{N: 2, L: 1, Tightened: true})
+		if err != nil || !res.Feasible {
+			return err == nil // infeasible instances are fine
+		}
+		r := rand.New(rand.NewSource(seed))
+		inputs := map[int]int64{}
+		for i := 0; i < g.NumOps(); i++ {
+			if len(g.OpPred(i)) == 0 {
+				inputs[i] = int64(r.Intn(100) - 50)
+			}
+		}
+		want, err := Direct(g, inputs)
+		if err != nil {
+			return false
+		}
+		got, tm, err := Run(g, alloc, dev, res.Solution, inputs)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return tm.PeakMemory <= dev.ScratchMem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	g, alloc, dev, sol := splitFixture(t)
+	var sb strings.Builder
+	if err := WriteVCD(&sb, g, alloc, dev, sol, map[int]int64{0: 7}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$enddefinitions $end",
+		"add16_0_busy",
+		"mul16_0_out",
+		"reconfiguring",
+		"#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// reconfiguration between the two segments must appear as a pulse
+	if !strings.Contains(out, "1\"") && !strings.Contains(out, "1"+string(rune('!'+1))) {
+		t.Errorf("no reconfiguration pulse in VCD:\n%s", out[:min(len(out), 600)])
+	}
+	// timestamps strictly increase
+	lastT := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var v int64
+			if _, err := fmt.Sscanf(line, "#%d", &v); err != nil {
+				t.Fatalf("bad timestamp %q", line)
+			}
+			if v < lastT {
+				t.Fatalf("timestamps not monotonic: %d after %d", v, lastT)
+			}
+			lastT = v
+		}
+	}
+}
+
+func TestWriteVCDPropagatesRunErrors(t *testing.T) {
+	g, alloc, dev, sol := splitFixture(t)
+	dev.ScratchMem = 1 // Run fails on memory overflow
+	var sb strings.Builder
+	if err := WriteVCD(&sb, g, alloc, dev, sol, nil); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,294 @@
+// Package rtl lowers a verified temporal-partitioning solution to a
+// per-segment register-transfer-level datapath: the functional units
+// the segment uses, registers allocated by the classic left-edge
+// algorithm over value lifetimes, input multiplexers, and a
+// step-counter FSM controller. A structural VHDL-flavored netlist can
+// be emitted for inspection.
+//
+// The paper's conclusion names register and bus modeling as the
+// natural extension of the formulation; this package provides the
+// downstream consumer for such estimates.
+package rtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/partition"
+)
+
+// Value is a datum that must be held in a register for part of a
+// segment's schedule.
+type Value struct {
+	// Producer is the op producing the value; -1 for values restored
+	// from scratch memory at segment entry.
+	Producer int
+	// Source is the producing op for restored values (Producer -1).
+	Source int
+	// Birth and Death bound the lifetime in segment-local steps: the
+	// value exists after Birth and is last read at Death.
+	Birth, Death int
+	// Escapes marks values that must survive to the end of the
+	// segment to be stored into scratch memory.
+	Escapes bool
+}
+
+// Register is one physical register with the values packed into it.
+type Register struct {
+	ID     int
+	Values []Value
+}
+
+// Mux is an input multiplexer in front of a functional-unit port.
+type Mux struct {
+	Unit    int   // FU instance
+	Port    int   // input port index
+	Sources []int // register IDs selectable at this port
+}
+
+// Netlist is the RTL structure of one temporal segment.
+type Netlist struct {
+	Segment   int
+	Graph     string
+	Units     []library.FU
+	Registers []Register
+	Muxes     []Mux
+	// Steps is the number of control steps of the segment's schedule.
+	Steps int
+	// FG is the functional-unit area; RegBits/MuxInputs size the
+	// register and interconnect estimate the paper's future-work
+	// extension would add to eq. (11).
+	FG int
+}
+
+// MuxInputs returns the total number of mux inputs, a standard proxy
+// for interconnect cost.
+func (n *Netlist) MuxInputs() int {
+	total := 0
+	for _, m := range n.Muxes {
+		total += len(m.Sources)
+	}
+	return total
+}
+
+// Build lowers segment p of the solution to RTL.
+func Build(g *graph.Graph, alloc *library.Allocation, sol *partition.Solution, p int) (*Netlist, error) {
+	var ops []int
+	for i := 0; i < g.NumOps(); i++ {
+		if sol.TaskPartition[g.Op(i).Task] == p {
+			ops = append(ops, i)
+		}
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("rtl: segment %d is empty", p)
+	}
+	inSeg := map[int]bool{}
+	first, last := sol.OpStep[ops[0]], sol.OpStep[ops[0]]
+	for _, i := range ops {
+		inSeg[i] = true
+		if sol.OpStep[i] < first {
+			first = sol.OpStep[i]
+		}
+		if sol.OpStep[i] > last {
+			last = sol.OpStep[i]
+		}
+	}
+	n := &Netlist{Segment: p, Graph: g.Name, Steps: last - first + 1}
+	// functional units actually used
+	for _, u := range sol.SegmentUnits(g, p) {
+		n.Units = append(n.Units, alloc.Unit(u))
+		n.FG += alloc.Unit(u).Type.FG
+	}
+	local := func(step int) int { return step - first + 1 }
+
+	// value lifetimes
+	var values []Value
+	for _, i := range ops {
+		death := local(sol.OpStep[i])
+		escapes := false
+		for _, s := range g.OpSucc(i) {
+			if inSeg[s] {
+				if d := local(sol.OpStep[s]); d > death {
+					death = d
+				}
+			} else {
+				escapes = true
+			}
+		}
+		if escapes {
+			death = n.Steps + 1
+		}
+		if death > local(sol.OpStep[i]) {
+			values = append(values, Value{Producer: i, Birth: local(sol.OpStep[i]), Death: death, Escapes: escapes})
+		}
+	}
+	// restored inputs: external predecessors feed registers from step 0
+	restored := map[int]int{} // producer op -> death
+	for _, i := range ops {
+		for _, pr := range g.OpPred(i) {
+			if inSeg[pr] {
+				continue
+			}
+			if d := local(sol.OpStep[i]); d > restored[pr] {
+				restored[pr] = d
+			}
+		}
+	}
+	for _, pr := range sortedIntKeys(restored) {
+		values = append(values, Value{Producer: -1, Source: pr, Birth: 0, Death: restored[pr]})
+	}
+	n.Registers = leftEdge(values)
+
+	// muxes: for each FU input port, the registers that can feed it
+	regOf := map[int]int{} // producer op -> register ID
+	for _, r := range n.Registers {
+		for _, v := range r.Values {
+			key := v.Producer
+			if key == -1 {
+				key = v.Source
+			}
+			regOf[key] = r.ID
+		}
+	}
+	type portKey struct{ unit, port int }
+	srcs := map[portKey]map[int]bool{}
+	for _, i := range ops {
+		preds := g.OpPred(i)
+		for port, pr := range preds {
+			key := portKey{sol.OpUnit[i], port}
+			if srcs[key] == nil {
+				srcs[key] = map[int]bool{}
+			}
+			if r, ok := regOf[pr]; ok {
+				srcs[key][r] = true
+			}
+		}
+	}
+	keys := make([]portKey, 0, len(srcs))
+	for k := range srcs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].unit != keys[b].unit {
+			return keys[a].unit < keys[b].unit
+		}
+		return keys[a].port < keys[b].port
+	})
+	for _, k := range keys {
+		n.Muxes = append(n.Muxes, Mux{Unit: k.unit, Port: k.port, Sources: sortedBoolKeys(srcs[k])})
+	}
+	return n, nil
+}
+
+// BuildAll lowers every used segment.
+func BuildAll(g *graph.Graph, alloc *library.Allocation, sol *partition.Solution) ([]*Netlist, error) {
+	var out []*Netlist
+	for p := 1; p <= sol.N; p++ {
+		if len(sol.SegmentTasks(p)) == 0 {
+			continue
+		}
+		n, err := Build(g, alloc, sol, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// leftEdge packs value lifetimes into a minimal number of registers
+// (classic left-edge allocation: sort by birth, greedily reuse the
+// first register whose last death precedes the next birth).
+func leftEdge(values []Value) []Register {
+	sort.Slice(values, func(a, b int) bool {
+		if values[a].Birth != values[b].Birth {
+			return values[a].Birth < values[b].Birth
+		}
+		return values[a].Death < values[b].Death
+	})
+	var regs []Register
+	lastDeath := []int{}
+	for _, v := range values {
+		placed := false
+		for r := range regs {
+			if lastDeath[r] < v.Birth {
+				regs[r].Values = append(regs[r].Values, v)
+				lastDeath[r] = v.Death
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			regs = append(regs, Register{ID: len(regs), Values: []Value{v}})
+			lastDeath = append(lastDeath, v.Death)
+		}
+	}
+	return regs
+}
+
+func sortedIntKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedBoolKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VHDL emits a structural VHDL-flavored rendering of the netlist.
+func (n *Netlist) VHDL() string {
+	var sb strings.Builder
+	name := fmt.Sprintf("%s_seg%d", sanitize(n.Graph), n.Segment)
+	fmt.Fprintf(&sb, "-- generated by rtl: segment %d of %s\n", n.Segment, n.Graph)
+	fmt.Fprintf(&sb, "entity %s is\n", name)
+	sb.WriteString("  port (clk, rst : in bit;\n        mem_rd, mem_wr : out bit;\n        start : in bit; done : out bit);\n")
+	fmt.Fprintf(&sb, "end %s;\n\n", name)
+	fmt.Fprintf(&sb, "architecture structural of %s is\n", name)
+	for _, u := range n.Units {
+		fmt.Fprintf(&sb, "  component %s -- %d FG, %.0f ns\n", u.Type.Name, u.Type.FG, u.Type.DelayNS)
+	}
+	fmt.Fprintf(&sb, "  signal step : integer range 0 to %d;\n", n.Steps)
+	for _, r := range n.Registers {
+		fmt.Fprintf(&sb, "  signal r%d : bit_vector(15 downto 0); -- %d values\n", r.ID, len(r.Values))
+	}
+	sb.WriteString("begin\n")
+	for _, u := range n.Units {
+		fmt.Fprintf(&sb, "  u_%s : %s;\n", sanitize(u.Name), u.Type.Name)
+	}
+	for _, m := range n.Muxes {
+		srcs := make([]string, len(m.Sources))
+		for i, s := range m.Sources {
+			srcs[i] = fmt.Sprintf("r%d", s)
+		}
+		fmt.Fprintf(&sb, "  -- mux fu%d.in%d <= {%s}\n", m.Unit, m.Port, strings.Join(srcs, ", "))
+	}
+	fmt.Fprintf(&sb, "  fsm : process(clk) -- %d steps\n  begin\n", n.Steps)
+	fmt.Fprintf(&sb, "    if rst = '1' then step <= 0;\n")
+	fmt.Fprintf(&sb, "    elsif step < %d then step <= step + 1;\n    end if;\n", n.Steps)
+	sb.WriteString("  end process;\n")
+	fmt.Fprintf(&sb, "  done <= '1' when step = %d else '0';\n", n.Steps)
+	sb.WriteString("end structural;\n")
+	return sb.String()
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

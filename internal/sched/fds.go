@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// ForceDirected implements Paulin & Knight's force-directed scheduling
+// under a fixed step budget: operations are placed one at a time at
+// the step of minimal "force", where force measures how much a
+// placement increases the expected concurrency of its operation kind
+// (the distribution-graph value) plus the restriction it imposes on
+// predecessors and successors. The result balances kind concurrency
+// across steps, which minimizes the number of functional units needed —
+// the classic time-constrained HLS objective, complementary to the
+// resource-constrained list scheduler.
+//
+// The returned assignment maps every op to a start step in
+// [ASAP, ALAP+L]; units are NOT bound (Unit is -1 throughout) — pair it
+// with BindUnits or use it as a schedule seed.
+func ForceDirected(g *graph.Graph, w *Windows, L int) (*Assignment, error) {
+	no := g.NumOps()
+	order, err := g.TopoOps()
+	if err != nil {
+		return nil, err
+	}
+	// mutable windows, tightened as ops get fixed
+	lo := make([]int, no)
+	hi := make([]int, no)
+	for i := 0; i < no; i++ {
+		lo[i] = w.ASAP[i]
+		hi[i] = w.ALAP[i] + L
+	}
+	fixed := make([]bool, no)
+	a := &Assignment{Step: make([]int, no), Unit: make([]int, no)}
+	for i := range a.Unit {
+		a.Unit[i] = -1
+	}
+
+	// distribution graph: for each kind and step, the summed placement
+	// probability of unfixed ops (fixed ops contribute 1 at their step)
+	maxStep := w.MaxStep(L)
+	dg := func(kind graph.OpKind, j int) float64 {
+		v := 0.0
+		for i := 0; i < no; i++ {
+			if g.Op(i).Kind != kind {
+				continue
+			}
+			if j < lo[i] || j > hi[i] {
+				continue
+			}
+			v += 1.0 / float64(hi[i]-lo[i]+1)
+		}
+		return v
+	}
+	// selfForce of placing op i at step j: DG increase at j minus the
+	// average DG over its current window (standard FDS force)
+	selfForce := func(i, j int) float64 {
+		kind := g.Op(i).Kind
+		avg := 0.0
+		for jj := lo[i]; jj <= hi[i]; jj++ {
+			avg += dg(kind, jj)
+		}
+		avg /= float64(hi[i] - lo[i] + 1)
+		return dg(kind, j) - avg
+	}
+	// propagate window tightening after fixing op i at step j;
+	// returns false on an emptied window (placement impossible)
+	propagate := func() bool {
+		changed := true
+		for changed {
+			changed = false
+			for _, i := range order {
+				for _, pr := range g.OpPred(i) {
+					if m := lo[pr] + w.Dur[pr]; m > lo[i] {
+						lo[i] = m
+						changed = true
+					}
+				}
+			}
+			for k := len(order) - 1; k >= 0; k-- {
+				i := order[k]
+				for _, sc := range g.OpSucc(i) {
+					if m := hi[sc] - w.Dur[i]; m < hi[i] {
+						hi[i] = m
+						changed = true
+					}
+				}
+			}
+		}
+		for i := 0; i < no; i++ {
+			if lo[i] > hi[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for placed := 0; placed < no; placed++ {
+		// pick the unfixed op/step pair with minimal total force,
+		// breaking ties toward the most constrained op
+		bestOp, bestStep := -1, 0
+		bestForce := math.Inf(1)
+		for i := 0; i < no; i++ {
+			if fixed[i] {
+				continue
+			}
+			for j := lo[i]; j <= hi[i]; j++ {
+				f := selfForce(i, j)
+				// predecessor/successor force: shrinking their windows
+				for _, pr := range g.OpPred(i) {
+					if !fixed[pr] && hi[pr] > j-w.Dur[pr] {
+						f += 0.5 // penalize restricting the predecessor
+					}
+				}
+				for _, sc := range g.OpSucc(i) {
+					if !fixed[sc] && lo[sc] < j+w.Dur[i] {
+						f += 0.5
+					}
+				}
+				if f < bestForce-1e-12 ||
+					(f < bestForce+1e-12 && bestOp >= 0 && hi[i]-lo[i] < hi[bestOp]-lo[bestOp]) {
+					bestOp, bestStep, bestForce = i, j, f
+				}
+			}
+		}
+		if bestOp < 0 {
+			return nil, fmt.Errorf("sched: force-directed scheduling stalled")
+		}
+		fixed[bestOp] = true
+		lo[bestOp], hi[bestOp] = bestStep, bestStep
+		a.Step[bestOp] = bestStep
+		if end := bestStep + w.Dur[bestOp] - 1; end > a.Span {
+			a.Span = end
+		}
+		if !propagate() {
+			return nil, fmt.Errorf("sched: force-directed placement emptied a window (op %d at %d)", bestOp, bestStep)
+		}
+	}
+	_ = maxStep
+	return a, nil
+}
+
+// BindUnits assigns functional units to a fixed-step schedule greedily
+// (each op takes the lowest-ID compatible unit free at its step),
+// returning an error when some step needs more parallel units of a
+// kind than the allocation provides.
+func BindUnits(g *graph.Graph, alloc *library.Allocation, w *Windows, a *Assignment) error {
+	type slot struct{ j, u int }
+	busy := map[slot]bool{}
+	for i := 0; i < g.NumOps(); i++ {
+		bound := false
+		for _, u := range alloc.UnitsFor(g.Op(i).Kind) {
+			lat := alloc.Unit(u).Type.Latency
+			if lat < 1 {
+				lat = 1
+			}
+			occHi := a.Step[i] + lat - 1
+			if alloc.Unit(u).Type.Pipelined {
+				occHi = a.Step[i]
+			}
+			free := true
+			for j := a.Step[i]; j <= occHi; j++ {
+				if busy[slot{j, u}] {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			for j := a.Step[i]; j <= occHi; j++ {
+				busy[slot{j, u}] = true
+			}
+			a.Unit[i] = u
+			bound = true
+			break
+		}
+		if !bound {
+			return fmt.Errorf("sched: no free unit for op %d (%s) at step %d", i, g.Op(i).Kind, a.Step[i])
+		}
+	}
+	return nil
+}
+
+// PeakConcurrency returns, per operation kind, the maximum number of
+// simultaneously executing ops of that kind in the schedule — the FU
+// demand a time-constrained scheduler tries to minimize.
+func PeakConcurrency(g *graph.Graph, w *Windows, a *Assignment) map[graph.OpKind]int {
+	count := map[graph.OpKind]map[int]int{}
+	for i := 0; i < g.NumOps(); i++ {
+		kind := g.Op(i).Kind
+		if count[kind] == nil {
+			count[kind] = map[int]int{}
+		}
+		for j := a.Step[i]; j <= a.Step[i]+w.Dur[i]-1; j++ {
+			count[kind][j]++
+		}
+	}
+	peak := map[graph.OpKind]int{}
+	for kind, byStep := range count {
+		for _, c := range byStep {
+			if c > peak[kind] {
+				peak[kind] = c
+			}
+		}
+	}
+	return peak
+}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+func TestForceDirectedRespectsWindowsAndDeps(t *testing.T) {
+	g, _ := diamondFDS(t)
+	w, err := ComputeWindows(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ForceDirected(g, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumOps(); i++ {
+		if a.Step[i] < w.ASAP[i] || a.Step[i] > w.ALAP[i]+1 {
+			t.Errorf("op %d at %d outside [%d,%d]", i, a.Step[i], w.ASAP[i], w.ALAP[i]+1)
+		}
+	}
+	for _, e := range g.OpEdges() {
+		if a.Step[e.To] < a.Step[e.From]+1 {
+			t.Errorf("dep %d->%d violated: %d, %d", e.From, e.To, a.Step[e.From], a.Step[e.To])
+		}
+	}
+}
+
+func diamondFDS(t *testing.T) (*graph.Graph, []int) {
+	t.Helper()
+	g := graph.New("fds")
+	tk := g.AddTask("t")
+	a := g.AddOp(tk, graph.OpMul, "a")
+	b := g.AddOp(tk, graph.OpMul, "b")
+	c := g.AddOp(tk, graph.OpMul, "c")
+	d := g.AddOp(tk, graph.OpAdd, "d")
+	g.AddOpEdge(a, d)
+	// b, c are free-floating muls that FDS should spread across steps
+	return g, []int{a, b, c, d}
+}
+
+// FDS balances concurrency: three muls with slack must not all share a
+// step when the budget allows spreading.
+func TestForceDirectedBalances(t *testing.T) {
+	g, _ := diamondFDS(t)
+	w, err := ComputeWindows(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ForceDirected(g, w, 1) // 3 steps for 3 muls
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := PeakConcurrency(g, w, a)
+	if peak[graph.OpMul] > 2 {
+		t.Fatalf("mul concurrency = %d, want <= 2 after balancing (steps: %v)",
+			peak[graph.OpMul], a.Step)
+	}
+}
+
+func TestBindUnits(t *testing.T) {
+	g, _ := diamondFDS(t)
+	w, err := ComputeWindows(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ForceDirected(g, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BindUnits(g, alloc, w, a); err != nil {
+		t.Fatal(err)
+	}
+	booked := map[[2]int]bool{}
+	for i := 0; i < g.NumOps(); i++ {
+		if a.Unit[i] < 0 {
+			t.Fatalf("op %d unbound", i)
+		}
+		if !alloc.Unit(a.Unit[i]).Type.CanExecute(g.Op(i).Kind) {
+			t.Fatalf("op %d on incompatible unit", i)
+		}
+		key := [2]int{a.Step[i], a.Unit[i]}
+		if booked[key] {
+			t.Fatalf("double booking at %v", key)
+		}
+		booked[key] = true
+	}
+}
+
+func TestBindUnitsFailsWhenOversubscribed(t *testing.T) {
+	// 2 muls forced to the same step, only 1 multiplier
+	g := graph.New("o")
+	tk := g.AddTask("t")
+	g.AddOp(tk, graph.OpMul, "")
+	g.AddOp(tk, graph.OpMul, "")
+	w, err := ComputeWindows(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Assignment{Step: []int{1, 1}, Unit: []int{-1, -1}, Span: 1}
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BindUnits(g, alloc, w, a); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+}
+
+// Property: FDS schedules random DAGs within windows with deps intact,
+// and never exceeds the concurrency of the worst (ASAP) schedule.
+func TestPropertyForceDirectedValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.New("p")
+		tk := g.AddTask("t")
+		n := 3 + r.Intn(8)
+		kinds := []graph.OpKind{graph.OpAdd, graph.OpMul}
+		ops := make([]int, n)
+		for i := range ops {
+			ops[i] = g.AddOp(tk, kinds[r.Intn(2)], "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(4) == 0 {
+					g.AddOpEdge(ops[i], ops[j])
+				}
+			}
+		}
+		w, err := ComputeWindows(g, nil)
+		if err != nil {
+			return false
+		}
+		L := r.Intn(3)
+		a, err := ForceDirected(g, w, L)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if a.Step[i] < w.ASAP[i] || a.Step[i] > w.ALAP[i]+L {
+				return false
+			}
+		}
+		for _, e := range g.OpEdges() {
+			if a.Step[e.To] <= a.Step[e.From] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

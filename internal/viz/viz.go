@@ -1,0 +1,153 @@
+// Package viz renders temporal partitioning solutions as SVG Gantt
+// charts: one row per functional unit, one box per scheduled
+// operation, segments separated by reconfiguration bands — the
+// pictures HLS papers draw by hand.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/partition"
+)
+
+const (
+	cellW    = 64
+	cellH    = 28
+	leftPad  = 96
+	topPad   = 44
+	gapW     = 18 // reconfiguration band width
+	fontSize = 11
+)
+
+// segment color palette (fill, darker border), cycled per segment.
+var palette = [][2]string{
+	{"#cfe3ff", "#3069b0"},
+	{"#ffe3c2", "#b06a1a"},
+	{"#d6f5d0", "#2e8540"},
+	{"#f3d1f0", "#8d3b86"},
+	{"#f5f0bb", "#8a7d14"},
+}
+
+// WriteSVG renders the solution's schedule as an SVG document.
+func WriteSVG(w io.Writer, g *graph.Graph, alloc *library.Allocation, sol *partition.Solution) error {
+	// order segments and compute their step spans
+	type seg struct {
+		p           int
+		first, last int
+		ops         []int
+	}
+	byP := map[int]*seg{}
+	for i := 0; i < g.NumOps(); i++ {
+		p := sol.TaskPartition[g.Op(i).Task]
+		s, ok := byP[p]
+		if !ok {
+			s = &seg{p: p, first: sol.OpStep[i], last: sol.OpStep[i]}
+			byP[p] = s
+		}
+		if sol.OpStep[i] < s.first {
+			s.first = sol.OpStep[i]
+		}
+		if sol.OpStep[i] > s.last {
+			s.last = sol.OpStep[i]
+		}
+		s.ops = append(s.ops, i)
+	}
+	segs := make([]*seg, 0, len(byP))
+	for _, s := range byP {
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].p < segs[b].p })
+
+	nu := alloc.NumUnits()
+	totalSteps := 0
+	for _, s := range segs {
+		totalSteps += s.last - s.first + 1
+	}
+	width := leftPad + totalSteps*cellW + (len(segs)-1)*gapW + 16
+	height := topPad + nu*cellH + 40
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="%d">`+"\n",
+		width, height, fontSize)
+	fmt.Fprintf(&sb, `<text x="%d" y="16" font-size="13">%s — %d segments, comm cost %d</text>`+"\n",
+		leftPad, escape(g.Name), len(segs), sol.Comm)
+
+	// unit rows
+	for u := 0; u < nu; u++ {
+		y := topPad + u*cellH
+		fmt.Fprintf(&sb, `<text x="6" y="%d">%s</text>`+"\n", y+cellH/2+4, escape(alloc.Unit(u).Name))
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			leftPad, y, width-8, y)
+	}
+
+	// segments left to right in execution order
+	x := leftPad
+	for si, s := range segs {
+		col := palette[si%len(palette)]
+		segW := (s.last - s.first + 1) * cellW
+		// header + background
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" opacity="0.25"/>`+"\n",
+			x, topPad, segW, nu*cellH, col[0])
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="%s">segment %d</text>`+"\n",
+			x+4, topPad-8, col[1], s.p)
+		// step ticks
+		for j := 0; j <= s.last-s.first+1; j++ {
+			fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`+"\n",
+				x+j*cellW, topPad, x+j*cellW, topPad+nu*cellH)
+		}
+		for j := s.first; j <= s.last; j++ {
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#888">%d</text>`+"\n",
+				x+(j-s.first)*cellW+cellW/2-6, topPad+nu*cellH+16, j)
+		}
+		// op boxes
+		for _, i := range s.ops {
+			u := sol.OpUnit[i]
+			lat := alloc.Unit(u).Type.Latency
+			if lat < 1 {
+				lat = 1
+			}
+			bx := x + (sol.OpStep[i]-s.first)*cellW
+			by := topPad + u*cellH
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" rx="3" fill="%s" stroke="%s"/>`+"\n",
+				bx+1, by+2, lat*cellW-2, cellH-4, col[0], col[1])
+			label := g.Op(i).Label
+			if label == "" {
+				label = fmt.Sprintf("%s%d", g.Op(i).Kind, i)
+			}
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="%s">%s</text>`+"\n",
+				bx+6, by+cellH/2+4, col[1], escape(trim(label, lat*cellW/8)))
+		}
+		x += segW
+		if si < len(segs)-1 {
+			// reconfiguration band
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#999" opacity="0.5"/>`+"\n",
+				x, topPad, gapW, nu*cellH)
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" transform="rotate(90 %d %d)" fill="#333">reconfig</text>`+"\n",
+				x+13, topPad+4, x+13, topPad+4)
+			x += gapW
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trim(s string, max int) string {
+	if max < 2 {
+		max = 2
+	}
+	if len(s) > max {
+		return s[:max-1] + "…"
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+	"repro/internal/partition"
+)
+
+func fixture(t *testing.T) (*graph.Graph, *library.Allocation, *partition.Solution) {
+	t.Helper()
+	g := graph.New("viz")
+	t0 := g.AddTask("t0")
+	t1 := g.AddTask("t1")
+	a := g.AddOp(t0, graph.OpAdd, "load")
+	b := g.AddOp(t0, graph.OpMul, "")
+	c := g.AddOp(t1, graph.OpSub, "store")
+	g.AddOpEdge(a, b)
+	g.Connect(b, c, 2)
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := &partition.Solution{
+		N:             2,
+		TaskPartition: []int{1, 2},
+		OpStep:        []int{1, 2, 3},
+		OpUnit:        []int{0, 1, 2},
+		Comm:          2,
+	}
+	if err := partition.Verify(g, alloc, library.XC4025(), sol, partition.VerifyOptions{L: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return g, alloc, sol
+}
+
+func TestWriteSVG(t *testing.T) {
+	g, alloc, sol := fixture(t)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, g, alloc, sol); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"segment 1", "segment 2",
+		"reconfig",
+		"add16#0", "mul16#0", "sub16#0",
+		"load", "store",
+		"comm cost 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 5 {
+		t.Errorf("too few boxes:\n%s", out)
+	}
+}
+
+func TestWriteSVGSingleSegmentNoReconfigBand(t *testing.T) {
+	g, alloc, sol := fixture(t)
+	sol.TaskPartition = []int{1, 1}
+	sol.Comm = 0
+	var sb strings.Builder
+	if err := WriteSVG(&sb, g, alloc, sol); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "reconfig") {
+		t.Error("single-segment chart must not contain a reconfiguration band")
+	}
+}
+
+func TestEscapeAndTrim(t *testing.T) {
+	if escape(`a<b>&"c`) != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape: %q", escape(`a<b>&"c`))
+	}
+	if got := trim("abcdefgh", 4); got != "abc…" {
+		t.Fatalf("trim: %q", got)
+	}
+	if got := trim("ab", 8); got != "ab" {
+		t.Fatalf("trim short: %q", got)
+	}
+}
