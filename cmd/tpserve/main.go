@@ -1,0 +1,90 @@
+// Command tpserve exposes the temporal-partitioning solver as a JSON
+// HTTP service: a bounded worker pool of branch-and-bound solvers with
+// cooperative cancellation, request deduplication and an LRU over
+// completed results.
+//
+// Endpoints:
+//
+//	POST   /solve      synchronous solve (client disconnect cancels)
+//	POST   /jobs       asynchronous submit
+//	GET    /jobs/{id}  job status and result
+//	DELETE /jobs/{id}  cancel a queued or running job
+//	GET    /metrics    service metrics snapshot
+//	GET    /healthz    liveness
+//
+// Usage:
+//
+//	tpserve -addr :8080 -workers 4 -timeout 60s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "queued-job limit (0 = default)")
+		cache   = flag.Int("cache", 0, "result-cache entries (0 = default, -1 disables)")
+		timeout = flag.Duration("timeout", 60*time.Second, "default per-solve time limit")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueLimit:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("tpserve: listening on %s (%d workers, default timeout %s)",
+		*addr, svc.Workers(), *timeout)
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Stop accepting connections, then drain the queue: give in-flight
+	// solves a grace period before cancelling them cooperatively.
+	log.Printf("tpserve: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		log.Printf("tpserve: http shutdown: %v", err)
+	}
+	if err := svc.Close(shctx); err != nil {
+		log.Printf("tpserve: service drain: %v", err)
+	}
+}
+
+func fail(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "tpserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+// Serve: drive the temporal-partitioning solver through its HTTP
+// service API.
+//
+// The example starts the solve service in-process on a loopback
+// listener (exactly what `cmd/tpserve` does behind a real address),
+// then acts as a client: it submits the HAL differential-equation
+// benchmark as an asynchronous job, polls the job until the
+// branch-and-bound finishes, submits the identical request again to
+// show the result cache, and finally prints the service metrics.
+//
+// Run with: go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/benchmarks"
+	"repro/internal/service"
+)
+
+func main() {
+	// 1. Start the service: a bounded worker pool of solvers behind the
+	// JSON API. httptest gives us a loopback server; cmd/tpserve serves
+	// the same handler on a real port.
+	svc := service.New(service.Config{Workers: 2, DefaultTimeout: 30 * time.Second})
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+	defer svc.Close(context.Background())
+	fmt.Printf("service listening on %s\n\n", ts.URL)
+
+	// 2. Build a request: the HAL differential-equation benchmark with
+	// one adder, one subtracter, two multipliers and a comparator on the
+	// XC4010, split over two segments with two steps of latency
+	// relaxation.
+	req := map[string]any{
+		"graph": benchmarks.Diffeq().String(),
+		"allocation": map[string]int{
+			"add16": 1, "sub16": 1, "mul16": 2, "cmp16": 1,
+		},
+		"device": "xc4010",
+		"options": map[string]any{
+			"n":               2,
+			"l":               2,
+			"prime_heuristic": true,
+		},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Submit asynchronously and poll until done.
+	var job service.JobInfo
+	post(ts.URL+"/jobs", body, &job)
+	fmt.Printf("submitted job %s (status %s)\n", job.ID, job.Status)
+	for !job.Status.Finished() {
+		time.Sleep(50 * time.Millisecond)
+		get(ts.URL+"/jobs/"+job.ID, &job)
+	}
+	if job.Status != service.StatusDone {
+		log.Fatalf("job %s ended %s: %s", job.ID, job.Status, job.Error)
+	}
+	r := job.Result
+	fmt.Printf("job %s done in %.0f ms: comm=%d over %d segments (optimal=%v)\n",
+		job.ID, job.SolveMS, r.Comm, r.N, r.Optimal)
+	fmt.Printf("  model %d vars x %d rows, %d B&B nodes, %d LP pivots\n",
+		r.Vars, r.Rows, r.Nodes, r.LPIterations)
+	fmt.Printf("  task partition: %v\n\n", r.TaskPartition)
+
+	// 4. The identical request again — served from the result cache, no
+	// new branch-and-bound.
+	var again service.JobInfo
+	post(ts.URL+"/solve", body, &again)
+	fmt.Printf("same request again: cache_hit=%v, comm=%d\n\n",
+		again.CacheHit, again.Result.Comm)
+
+	// 5. Service metrics.
+	var stats service.Stats
+	get(ts.URL+"/metrics", &stats)
+	fmt.Printf("metrics: %d submitted, %d completed, %d cache hits / %d misses\n",
+		stats.Submitted, stats.Completed, stats.CacheHits, stats.CacheMisses)
+	fmt.Printf("         %d B&B nodes, %d LP pivots total\n",
+		stats.TotalNodes, stats.TotalLPIterations)
+}
+
+func post(url string, body []byte, out any) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s %s: %s", resp.Request.Method, resp.Request.URL.Path, e["error"])
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

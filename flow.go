@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,6 +45,13 @@ type FlowResult struct {
 // estimate proves infeasible, then simulate the winning design on the
 // device model and lower it to RTL.
 func Flow(inst Instance, opt FlowOptions) (*FlowResult, error) {
+	return FlowContext(context.Background(), inst, opt)
+}
+
+// FlowContext is Flow under a context: cancelling ctx cooperatively
+// stops the optimizer mid-search (deadlines and client disconnects
+// actually stop work) and returns the context's error.
+func FlowContext(ctx context.Context, inst Instance, opt FlowOptions) (*FlowResult, error) {
 	if opt.ExtraN <= 0 {
 		opt.ExtraN = 2
 	}
@@ -57,7 +65,7 @@ func Flow(inst Instance, opt FlowOptions) (*FlowResult, error) {
 	var res *Result
 	n := est
 	for ; n <= est+opt.ExtraN; n++ {
-		res, err = core.SolveInstance(inst, Options{
+		res, err = core.SolveInstanceContext(ctx, inst, Options{
 			N: n, L: opt.L,
 			Tightened:  true,
 			ExactSweep: true,
@@ -65,6 +73,12 @@ func Flow(inst Instance, opt FlowOptions) (*FlowResult, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		if res.Cancelled {
+			if cerr := context.Cause(ctx); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("repro: flow cancelled at N=%d", n)
 		}
 		if res.Feasible {
 			break

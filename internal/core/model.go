@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,6 +57,10 @@ type Model struct {
 	stats lp.Stats
 	// probeCache memoizes exact-schedule results per task assignment.
 	probeCache map[string]probeEntry
+	// ctx is the cancellation context of the running SolveContext,
+	// polled by the exact sweep and the scheduling probes; nil (never
+	// cancelled) outside a solve.
+	ctx context.Context
 }
 
 // Build generates the ILP model for the instance under the options.

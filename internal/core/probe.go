@@ -314,8 +314,12 @@ func (m *Model) exactSchedule(part []int, budget int, deadline time.Time) probeE
 				if budget--; budget <= 0 {
 					return schedBudget
 				}
-				if budget%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
-					return schedBudget
+				if budget%4096 == 0 {
+					// poll the wall clock and the solve context so a
+					// deep backtracking run cannot outlive either
+					if m.cancelled() || (!deadline.IsZero() && time.Now().After(deadline)) {
+						return schedBudget
+					}
 				}
 				ownOK := true
 				for jj := j; jj <= j+lat-1; jj++ {

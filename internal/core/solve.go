@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,14 +22,20 @@ type Result struct {
 	// Optimal reports whether the solution was proved optimal (false
 	// when a node or time limit stopped the search).
 	Optimal bool
+	// Cancelled reports that the caller's context was cancelled before
+	// the search could finish. The best solution found before the
+	// cancellation, if any, is still reported in Solution.
+	Cancelled bool
 	// Solution is the extracted and independently verified solution
 	// (nil when infeasible).
 	Solution *partition.Solution
 	// Stats is the generated model size (Var/Const columns).
 	Stats lp.Stats
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored,
+	// including the restricted settling MILPs of the exact sweep.
 	Nodes int
-	// LPIterations is the total simplex pivot count.
+	// LPIterations is the total simplex pivot count (LP
+	// re-optimizations), accumulated the same way.
 	LPIterations int
 	// Runtime is the solver wall-clock time.
 	Runtime time.Duration
@@ -37,6 +44,19 @@ type Result struct {
 // Solve runs branch and bound on the generated model with the
 // configured branching rule, then extracts and verifies the solution.
 func (m *Model) Solve() (*Result, error) {
+	return m.SolveContext(context.Background())
+}
+
+// SolveContext is Solve under a context: cancellation cooperatively
+// stops the exact sweep, the node probes and the branch-and-bound
+// pivot loops, returning a Result with Cancelled set (and the best
+// incumbent found so far, when one exists) rather than running to
+// completion.
+func (m *Model) SolveContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.ctx = ctx
 	solveStart := time.Now()
 	// All rules watch only the decision variables y, u and x; the
 	// auxiliary variables (o, c, z, w, ...) are implied once those are
@@ -77,6 +97,7 @@ func (m *Model) Solve() (*Result, error) {
 	if m.Opt.PrimeHeuristic || m.Opt.ExactSweep {
 		prime = m.heuristicIncumbent()
 	}
+	sweepNodes, sweepPivots := 0, 0
 	if m.Opt.ExactSweep && m.Inst.Graph.NumTasks() <= maxSweepTasks {
 		var sweepDeadline time.Time
 		if m.Opt.TimeLimit > 0 {
@@ -95,7 +116,13 @@ func (m *Model) Solve() (*Result, error) {
 		}
 		if sw.unresolved == 0 {
 			// the sweep settled every candidate: proven result
-			out := &Result{Stats: m.Stats(), Optimal: true, Runtime: time.Since(solveStart)}
+			out := &Result{
+				Stats:        m.Stats(),
+				Optimal:      true,
+				Nodes:        sw.nodes,
+				LPIterations: sw.pivots,
+				Runtime:      time.Since(solveStart),
+			}
 			if sw.best != nil {
 				out.Feasible = true
 				out.Solution = sw.best
@@ -105,6 +132,7 @@ func (m *Model) Solve() (*Result, error) {
 		if sw.best != nil {
 			prime = sw.best // at least as good as the heuristic
 		}
+		sweepNodes, sweepPivots = sw.nodes, sw.pivots
 	}
 	if prime != nil {
 		// prune anything that cannot strictly beat the incumbent
@@ -118,14 +146,14 @@ func (m *Model) Solve() (*Result, error) {
 		}
 		mopt.TimeLimit = remaining
 	}
-	res, err := milp.Solve(m.P, mopt)
+	res, err := milp.SolveContext(ctx, m.P, mopt)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
 		Stats:        m.Stats(),
-		Nodes:        res.Nodes,
-		LPIterations: res.LPIterations,
+		Nodes:        sweepNodes + res.Nodes,
+		LPIterations: sweepPivots + res.LPIterations,
 		Runtime:      time.Since(solveStart), // includes sweep/settle time
 	}
 	switch res.Status {
@@ -137,8 +165,16 @@ func (m *Model) Solve() (*Result, error) {
 		}
 		out.Optimal = true
 		return out, nil
-	case milp.StatusLimit:
-		if prime != nil {
+	case milp.StatusCancelled, milp.StatusNodeLimit, milp.StatusLimit:
+		out.Cancelled = res.Status == milp.StatusCancelled
+		// salvage the milp incumbent when one was found, otherwise
+		// fall back on the heuristic prime
+		if res.X != nil {
+			if sol, xerr := m.Extract(res.X); xerr == nil {
+				out.Feasible, out.Solution = true, sol
+			}
+		}
+		if out.Solution == nil && prime != nil {
 			out.Feasible, out.Solution = true, prime
 		}
 		return out, nil
@@ -155,6 +191,22 @@ func (m *Model) Solve() (*Result, error) {
 	}
 	out.Solution = sol
 	return out, nil
+}
+
+// solveCtx returns the context of the running SolveContext, or a
+// background context outside a solve.
+func (m *Model) solveCtx() context.Context {
+	if m.ctx != nil {
+		return m.ctx
+	}
+	return context.Background()
+}
+
+// cancelled reports whether the running solve's context is done; the
+// sweep and the exact-scheduling probes poll it so cancellation is
+// honored between (and inside) LP solves too.
+func (m *Model) cancelled() bool {
+	return m.ctx != nil && m.ctx.Err() != nil
 }
 
 // heuristicIncumbent runs the list-scheduling baseline and converts its
@@ -349,11 +401,17 @@ func (m *Model) complete(x []float64) []float64 {
 
 // SolveInstance builds the model and solves it in one call.
 func SolveInstance(inst Instance, opt Options) (*Result, error) {
+	return SolveInstanceContext(context.Background(), inst, opt)
+}
+
+// SolveInstanceContext builds the model and solves it under ctx; see
+// Model.SolveContext for the cancellation semantics.
+func SolveInstanceContext(ctx context.Context, inst Instance, opt Options) (*Result, error) {
 	m, err := Build(inst, opt)
 	if err != nil {
 		return nil, err
 	}
-	return m.Solve()
+	return m.SolveContext(ctx)
 }
 
 // EstimateN exposes the heuristic segment-count estimate used when

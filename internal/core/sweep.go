@@ -33,6 +33,11 @@ type sweepResult struct {
 	unresolvedParts [][]int
 	// enumerated counts assignments reaching the exact scheduler.
 	enumerated int
+	// nodes and pivots accumulate the branch-and-bound nodes and
+	// simplex iterations spent settling stubborn assignments, so sweep
+	// results report solver effort uniformly with the LP search path.
+	nodes  int
+	pivots int
 }
 
 // maxSweepTasks bounds the assignment enumeration.
@@ -66,7 +71,7 @@ func (m *Model) exactSweep(incumbent *partition.Solution, deadline time.Time) sw
 			return
 		}
 		if idx == nt {
-			if !deadline.IsZero() && time.Now().After(deadline) {
+			if m.cancelled() || (!deadline.IsZero() && time.Now().After(deadline)) {
 				expired = true
 				res.unresolved++ // at least this one is unsettled
 				return
@@ -165,7 +170,13 @@ func (m *Model) settleUnresolved(sw *sweepResult, perAssignment time.Duration) {
 	defer restore()
 
 	var remaining [][]int
-	for _, part := range sw.unresolvedParts {
+	for i, part := range sw.unresolvedParts {
+		if m.cancelled() {
+			// hand the leftovers back unsettled; the caller's branch
+			// and bound will observe the same cancellation immediately
+			remaining = append(remaining, sw.unresolvedParts[i:]...)
+			break
+		}
 		for t := 0; t < m.Inst.Graph.NumTasks(); t++ {
 			for p := 1; p <= m.N; p++ {
 				v := 0.0
@@ -175,7 +186,7 @@ func (m *Model) settleUnresolved(sw *sweepResult, perAssignment time.Duration) {
 				_ = m.P.SetVarBounds(m.Y[[2]int{t, p}], v, v)
 			}
 		}
-		res, err := milp.Solve(m.P, milp.Options{
+		res, err := milp.SolveContext(m.solveCtx(), m.P, milp.Options{
 			IntVars:     m.intVars,
 			Brancher:    milp.BrancherFunc(m.paperBranch),
 			ObjIntegral: true,
@@ -183,6 +194,10 @@ func (m *Model) settleUnresolved(sw *sweepResult, perAssignment time.Duration) {
 			Complete:    m.complete,
 			Probe:       m.probe,
 		})
+		if res != nil {
+			sw.nodes += res.Nodes
+			sw.pivots += res.LPIterations
+		}
 		switch {
 		case err != nil:
 			remaining = append(remaining, part)

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -92,6 +93,12 @@ type Solver struct {
 	// StatusIterLimit once the wall clock passes it. Checked every few
 	// hundred pivots, so overshoot is bounded.
 	Deadline time.Time
+	// Ctx, when non-nil, is polled alongside Deadline in the pivot
+	// loops: a cancelled context aborts the current Solve/ReOptimize
+	// with StatusIterLimit within a bounded number of pivots. This is
+	// the cooperative-cancellation hook the MILP layer (and through it
+	// the solve service) relies on.
+	Ctx context.Context
 }
 
 // NewSolver builds a solver for p. The problem must have at least one
@@ -288,9 +295,17 @@ func (s *Solver) shiftNonbasic(j int, delta float64) {
 	}
 }
 
-// expired reports whether the deadline has passed; polled cheaply.
+// expired reports whether the deadline has passed or the context was
+// cancelled; polled cheaply every 128 pivots so cancellation latency
+// stays bounded by a short pivot run.
 func (s *Solver) expired(iter int) bool {
-	return iter%256 == 255 && !s.Deadline.IsZero() && time.Now().After(s.Deadline)
+	if iter%128 != 127 {
+		return false
+	}
+	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		return true
+	}
+	return s.Ctx != nil && s.Ctx.Err() != nil
 }
 
 func (s *Solver) maxIter() int {

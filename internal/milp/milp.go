@@ -12,6 +12,7 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -20,6 +21,13 @@ import (
 )
 
 // Status is the outcome of a MILP solve.
+//
+// Incumbent contract: every status except StatusInfeasible may carry
+// an incumbent. When the search is stopped early — StatusFeasible,
+// StatusLimit, StatusNodeLimit or StatusCancelled — Result.X still
+// holds the best integer-feasible solution found so far (nil when none
+// was found) and Result.BestBound the proved lower bound, so callers
+// can always salvage partial work from an interrupted solve.
 type Status int
 
 const (
@@ -27,12 +35,18 @@ const (
 	StatusOptimal Status = iota
 	// StatusInfeasible means no integer-feasible solution exists.
 	StatusInfeasible
-	// StatusFeasible means an incumbent exists but a limit stopped the
-	// proof of optimality.
+	// StatusFeasible means an incumbent exists but the time limit (or
+	// an LP iteration cap) stopped the proof of optimality.
 	StatusFeasible
-	// StatusLimit means a limit stopped the search before any
-	// incumbent was found.
+	// StatusLimit means the time limit (or an LP iteration cap)
+	// stopped the search before any incumbent was found.
 	StatusLimit
+	// StatusNodeLimit means Options.MaxNodes stopped the search. The
+	// incumbent found so far, if any, is still returned in Result.X.
+	StatusNodeLimit
+	// StatusCancelled means the caller's context was cancelled. The
+	// incumbent found so far, if any, is still returned in Result.X.
+	StatusCancelled
 )
 
 func (s Status) String() string {
@@ -43,9 +57,19 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusFeasible:
 		return "feasible"
+	case StatusNodeLimit:
+		return "node-limit"
+	case StatusCancelled:
+		return "cancelled"
 	default:
 		return "limit"
 	}
+}
+
+// Stopped reports whether a limit or cancellation cut the search short
+// before it could prove optimality or infeasibility.
+func (s Status) Stopped() bool {
+	return s == StatusFeasible || s == StatusLimit || s == StatusNodeLimit || s == StatusCancelled
 }
 
 // intTol is the integrality tolerance.
@@ -109,12 +133,16 @@ type Options struct {
 
 // Result reports a solve.
 type Result struct {
-	Status    Status
-	X         []float64 // incumbent solution (nil unless Feasible/Optimal)
+	Status Status
+	// X is the incumbent solution: the best integer-feasible point
+	// found, even when a limit or cancellation stopped the search (see
+	// the Status incumbent contract). Nil when none was found.
+	X         []float64
 	Objective float64
 	// Nodes is the number of branch-and-bound nodes whose LP was solved.
 	Nodes int
-	// LPIterations is the total simplex pivot count.
+	// LPIterations is the total simplex pivot count (LP
+	// re-optimizations across all nodes).
 	LPIterations int
 	// Runtime is the wall-clock duration of the solve.
 	Runtime time.Duration
@@ -122,20 +150,41 @@ type Result struct {
 	BestBound float64
 }
 
+// stopReason records why the search stopped early, so the final status
+// can distinguish cancellation from node and time limits.
+type stopReason int
+
+const (
+	reasonNone stopReason = iota
+	reasonTime            // deadline or LP iteration cap
+	reasonNodes           // Options.MaxNodes
+	reasonCtx             // context cancelled by the caller
+)
+
 type solver struct {
-	lps      *lp.Solver
-	prob     *lp.Problem
-	opt      Options
-	isInt    []bool
-	incObj   float64
-	incX     []float64
-	nodes    int
-	deadline time.Time
-	stopped  bool
+	lps    *lp.Solver
+	prob   *lp.Problem
+	opt    Options
+	ctx    context.Context
+	isInt  []bool
+	incObj float64
+	incX   []float64
+	nodes  int
+	reason stopReason
 }
 
-// Solve runs branch and bound on p.
+// Solve runs branch and bound on p without external cancellation.
 func Solve(p *lp.Problem, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), p, opt)
+}
+
+// SolveContext runs branch and bound on p under ctx. Cancelling ctx
+// cooperatively stops the search within a bounded number of pivots and
+// yields StatusCancelled; Options.TimeLimit is applied as a context
+// deadline internally, so an expired deadline (from either source)
+// yields the time-limit statuses. In both cases the incumbent found so
+// far is still returned (see Status).
+func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, error) {
 	if len(opt.IntVars) == 0 {
 		return nil, fmt.Errorf("milp: no integer variables declared")
 	}
@@ -143,7 +192,18 @@ func Solve(p *lp.Problem, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &solver{lps: lps, prob: p, opt: opt, isInt: make([]bool, p.NumVars())}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	if opt.TimeLimit > 0 {
+		// the time limit is a context deadline internally, so LP
+		// solves, the node loop and callers all observe one signal
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(opt.TimeLimit))
+		defer cancel()
+	}
+	s := &solver{lps: lps, prob: p, opt: opt, ctx: ctx, isInt: make([]bool, p.NumVars())}
 	for _, j := range opt.IntVars {
 		if j < 0 || j >= p.NumVars() {
 			return nil, fmt.Errorf("milp: integer variable %d out of range", j)
@@ -158,10 +218,16 @@ func Solve(p *lp.Problem, opt Options) (*Result, error) {
 	if opt.InitialUpper != 0 && !math.IsInf(opt.InitialUpper, 1) {
 		s.incObj = opt.InitialUpper
 	}
-	start := time.Now()
-	if opt.TimeLimit > 0 {
-		s.deadline = start.Add(opt.TimeLimit)
-		lps.Deadline = s.deadline // bound individual LP solves too
+	lps.Ctx = ctx // bound individual LP solves too
+
+	if err := ctx.Err(); err != nil {
+		// cancelled before any work: report it without touching the
+		// problem (a dead context must not race root-LP infeasibility)
+		res := &Result{BestBound: math.Inf(-1), Status: StatusLimit}
+		if context.Cause(ctx) == context.Canceled {
+			res.Status = StatusCancelled
+		}
+		return res, nil
 	}
 
 	rootStatus := lps.Solve()
@@ -175,9 +241,12 @@ func Solve(p *lp.Problem, opt Options) (*Result, error) {
 	case lp.StatusUnbounded:
 		return nil, fmt.Errorf("milp: LP relaxation is unbounded")
 	case lp.StatusIterLimit:
-		// deadline or iteration cap during the root solve: report an
-		// inconclusive run instead of an error
+		// cancellation, deadline or iteration cap during the root
+		// solve: report an inconclusive run instead of an error
 		res.Status = StatusLimit
+		if context.Cause(ctx) == context.Canceled {
+			res.Status = StatusCancelled
+		}
 		res.Runtime = time.Since(start)
 		res.LPIterations = lps.Iterations
 		return res, nil
@@ -189,11 +258,15 @@ func Solve(p *lp.Problem, opt Options) (*Result, error) {
 	res.LPIterations = lps.Iterations
 	res.Runtime = time.Since(start)
 	switch {
-	case s.incX == nil && s.stopped:
+	case s.reason == reasonCtx:
+		res.Status = StatusCancelled
+	case s.reason == reasonNodes:
+		res.Status = StatusNodeLimit
+	case s.incX == nil && s.reason != reasonNone:
 		res.Status = StatusLimit
 	case s.incX == nil:
 		res.Status = StatusInfeasible
-	case s.stopped:
+	case s.reason != reasonNone:
 		res.Status = StatusFeasible
 	default:
 		res.Status = StatusOptimal
@@ -201,7 +274,7 @@ func Solve(p *lp.Problem, opt Options) (*Result, error) {
 	if s.incX != nil {
 		res.X = s.incX
 		res.Objective = s.incObj
-		if !s.stopped {
+		if s.reason == reasonNone {
 			res.BestBound = s.incObj
 		}
 	}
@@ -222,8 +295,8 @@ func (s *solver) bound(z float64) float64 {
 // bound changes before returning.
 func (s *solver) branch(st lp.Status) {
 	s.nodes++
-	if s.limitHit() {
-		s.stopped = true
+	if r := s.limitHit(); r != reasonNone {
+		s.reason = r
 		return
 	}
 	if st == lp.StatusInfeasible {
@@ -234,7 +307,10 @@ func (s *solver) branch(st lp.Status) {
 		// from scratch once, then give up on this subtree if it
 		// persists (counted as a stop so optimality is not claimed).
 		if s.lps.Solve() == lp.StatusIterLimit {
-			s.stopped = true
+			s.reason = reasonTime
+			if context.Cause(s.ctx) == context.Canceled {
+				s.reason = reasonCtx
+			}
 			return
 		}
 		st = s.lps.Status()
@@ -317,7 +393,7 @@ func (s *solver) branch(st lp.Status) {
 		cst := s.lps.ReOptimize()
 		s.branch(cst)
 		s.lps.SetBound(col, lo, hi)
-		if s.stopped {
+		if s.reason != reasonNone {
 			return
 		}
 	}
@@ -387,14 +463,19 @@ func (s *solver) mostFractional(x []float64) (int, bool) {
 	return best, oneFirst
 }
 
-func (s *solver) limitHit() bool {
+// limitHit reports why the node loop must stop, polling the context
+// every 16 nodes so cancellation latency stays bounded.
+func (s *solver) limitHit() stopReason {
 	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
-		return true
+		return reasonNodes
 	}
-	if !s.deadline.IsZero() && s.nodes%16 == 0 && time.Now().After(s.deadline) {
-		return true
+	if s.nodes%16 == 0 && s.ctx.Err() != nil {
+		if context.Cause(s.ctx) == context.Canceled {
+			return reasonCtx
+		}
+		return reasonTime
 	}
-	return false
+	return reasonNone
 }
 
 // FirstFractional returns a Brancher that picks the lowest-index

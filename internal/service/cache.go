@@ -1,0 +1,63 @@
+package service
+
+// A small LRU over completed solve results. Results are immutable
+// after a solve, so entries are shared by pointer. Guarded by
+// Service.mu (the cache itself is not safe for concurrent use).
+
+import (
+	"container/list"
+
+	"repro/internal/core"
+)
+
+type lruCache struct {
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// newLRUCache returns a cache holding up to cap results; cap < 0
+// disables caching entirely.
+func newLRUCache(cap int) *lruCache {
+	if cap < 0 {
+		cap = 0
+	}
+	return &lruCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }
+
+func (c *lruCache) get(key string) (*core.Result, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *lruCache) add(key string, res *core.Result) {
+	if c.cap == 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+}

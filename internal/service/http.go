@@ -1,0 +1,132 @@
+package service
+
+// The JSON HTTP API of the service, mounted by cmd/tpserve and
+// exercised end-to-end by the httptest suite:
+//
+//	POST   /solve      synchronous solve; the request context (client
+//	                   disconnect, server timeout) cancels the search
+//	POST   /jobs       asynchronous submit, returns the job record
+//	GET    /jobs/{id}  job status + result
+//	DELETE /jobs/{id}  cooperative cancellation
+//	GET    /metrics    aggregate metrics snapshot
+//	GET    /healthz    liveness
+//
+// Only net/http and encoding/json; no external dependencies.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler mounts the service's HTTP API on a fresh mux.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"workers": s.Workers(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeRequest(w, r)
+		if !ok {
+			return
+		}
+		info, err := s.Solve(r.Context(), req)
+		if err != nil && info.ID == "" {
+			writeSubmitError(w, err)
+			return
+		}
+		code := http.StatusOK
+		if err != nil {
+			// the client went away or its deadline passed; the job was
+			// cancelled cooperatively
+			code = statusClientClosedRequest
+		}
+		writeJSON(w, code, info)
+	})
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeRequest(w, r)
+		if !ok {
+			return
+		}
+		id, err := s.Submit(req)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		info, _ := s.Job(id)
+		writeJSON(w, http.StatusAccepted, info)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, err := s.Job(id); err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		s.Cancel(id) // best effort: false just means it already finished
+		info, err := s.Job(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	return mux
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request", the closest fit for a solve cancelled by a disconnecting
+// caller (the response is usually unread anyway).
+const statusClientClosedRequest = 499
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return nil, false
+	}
+	return &req, true
+}
+
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		closeBounded(t, s)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// liveness
+	var health map[string]any
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz body %v", health)
+	}
+
+	// async: submit, then poll to completion
+	resp, data := postJSON(t, ts.URL+"/jobs", fastRequest())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs status %d: %s", resp.StatusCode, data)
+	}
+	var job JobInfo
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" {
+		t.Fatalf("no job id in %s", data)
+	}
+	for end := time.Now().Add(30 * time.Second); !job.Status.Finished(); {
+		if time.Now().After(end) {
+			t.Fatalf("job %s stuck %s", job.ID, job.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+		getJSON(t, ts.URL+"/jobs/"+job.ID, &job)
+	}
+	if job.Status != StatusDone || job.Result == nil || !job.Result.Feasible {
+		t.Fatalf("async job ended %s: %+v", job.Status, job.Result)
+	}
+	asyncComm := job.Result.Comm
+
+	// sync: the identical request is served from the cache
+	resp, data = postJSON(t, ts.URL+"/solve", fastRequest())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /solve status %d: %s", resp.StatusCode, data)
+	}
+	var sync JobInfo
+	if err := json.Unmarshal(data, &sync); err != nil {
+		t.Fatal(err)
+	}
+	if !sync.CacheHit {
+		t.Fatalf("identical sync request missed the cache: %s", data)
+	}
+	if sync.Result.Comm != asyncComm {
+		t.Fatalf("sync comm %d != async comm %d", sync.Result.Comm, asyncComm)
+	}
+
+	// metrics reflect both jobs
+	var st Stats
+	getJSON(t, ts.URL+"/metrics", &st)
+	if st.Submitted != 2 || st.Completed != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("metrics after two jobs: %+v", st)
+	}
+	if st.TotalNodes == 0 || st.TotalLPIterations == 0 {
+		t.Fatalf("solver effort not recorded: %+v", st)
+	}
+}
+
+// TestHTTPSolveCancel cancels a synchronous solve by abandoning the
+// request, then uses the metrics to show that the underlying branch
+// and bound stopped: the worker frees up long before the job's time
+// limit, and the node counter stays flat afterwards.
+func TestHTTPSolveCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long cancellation test")
+	}
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	body, err := json.Marshal(heavyRequest(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		_, rerr := http.DefaultClient.Do(req)
+		errc <- rerr
+	}()
+
+	// wait until the solve is actually running, then hang up
+	for end := time.Now().Add(10 * time.Second); ; {
+		var st Stats
+		getJSON(t, ts.URL+"/metrics", &st)
+		if st.Running == 1 {
+			break
+		}
+		if time.Now().After(end) {
+			t.Fatalf("solve never started: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if rerr := <-errc; rerr == nil {
+		t.Fatal("abandoned request returned no error")
+	}
+
+	// the request had a 120s budget; the worker must come free within
+	// a couple of seconds or the cancellation did not reach the solver
+	var st Stats
+	for end := time.Now().Add(5 * time.Second); ; {
+		getJSON(t, ts.URL+"/metrics", &st)
+		if st.Running == 0 && st.InFlight == 0 {
+			break
+		}
+		if time.Now().After(end) {
+			t.Fatalf("branch and bound still running after cancel: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1 (%+v)", st.Cancelled, st)
+	}
+	// effort was recorded once when the interrupted solve returned and
+	// must not grow afterwards: nothing is still searching
+	nodes := st.TotalNodes
+	time.Sleep(300 * time.Millisecond)
+	getJSON(t, ts.URL+"/metrics", &st)
+	if st.TotalNodes != nodes {
+		t.Fatalf("node counter still moving after cancel: %d -> %d", nodes, st.TotalNodes)
+	}
+}
+
+func TestHTTPJobCancelAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// occupy the worker, then cancel the job over HTTP
+	resp, data := postJSON(t, ts.URL+"/jobs", heavyRequest(8))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs status %d: %s", resp.StatusCode, data)
+	}
+	var job JobInfo
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after JobInfo
+	if err := json.NewDecoder(dresp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || after.Status != StatusCancelled {
+		t.Fatalf("DELETE -> %d, status %s", dresp.StatusCode, after.Status)
+	}
+
+	// error paths
+	resp, _ = postJSON(t, ts.URL+"/solve", map[string]any{"graph": ""})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty graph -> %d, want 400", resp.StatusCode)
+	}
+	badJSON, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badJSON.Body.Close()
+	if badJSON.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON -> %d, want 400", badJSON.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/jobs/zzz", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job -> %d, want 404", resp.StatusCode)
+	}
+
+	// a string device spec parses
+	req := fastRequest()
+	req.Device = DeviceSpec{}
+	var raw map[string]any
+	b, _ := json.Marshal(req)
+	if err := json.Unmarshal(b, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["device"] = "xc4025"
+	resp, data = postJSON(t, ts.URL+"/solve", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("string device -> %d: %s", resp.StatusCode, data)
+	}
+}

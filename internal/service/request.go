@@ -1,0 +1,186 @@
+package service
+
+// The JSON-facing request model: a behavioral specification in the
+// graph text format, an FU exploration set, a target device and solver
+// options, compiled into a core.Instance plus a canonical cache key.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// Request is one solve submitted to the service.
+type Request struct {
+	// Graph is the behavioral specification in the text format of
+	// internal/graph (the same format cmd/tpgen emits and cmd/tpsyn
+	// reads). The graph name participates in the instance identity:
+	// identically named identical graphs deduplicate, renamed copies
+	// do not.
+	Graph string `json:"graph"`
+	// Allocation maps FU type names of the default component library
+	// (add16, mul16, sub16, ...) to instance counts — the exploration
+	// set F. Empty means the paper's default 2 adders + 2 multipliers
+	// + 1 subtracter.
+	Allocation map[string]int `json:"allocation,omitempty"`
+	// Device selects the target device; the zero value is the XC4010.
+	Device DeviceSpec `json:"device,omitempty"`
+	// Options tune the formulation and the solver.
+	Options SolveOptions `json:"options,omitempty"`
+	// Priority orders the queue: higher runs sooner; equal priorities
+	// run FIFO.
+	Priority int `json:"priority,omitempty"`
+}
+
+// DeviceSpec names a built-in device and/or overrides its parameters.
+// In JSON it may be either a plain string ("xc4010") or an object.
+type DeviceSpec struct {
+	// Name is "xc4010" (default) or "xc4025".
+	Name string `json:"name,omitempty"`
+	// CapacityFG overrides the device capacity C when positive.
+	CapacityFG int `json:"capacity_fg,omitempty"`
+	// Alpha overrides the logic-optimization factor when positive.
+	Alpha float64 `json:"alpha,omitempty"`
+	// ScratchMem overrides the scratch memory size Ms when positive.
+	ScratchMem int `json:"scratch_mem,omitempty"`
+}
+
+// UnmarshalJSON accepts both "xc4010" and {"name": "xc4010", ...}.
+func (d *DeviceSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		return json.Unmarshal(b, &d.Name)
+	}
+	type raw DeviceSpec
+	return json.Unmarshal(b, (*raw)(d))
+}
+
+func (d DeviceSpec) resolve() (library.Device, error) {
+	var dev library.Device
+	switch strings.ToLower(d.Name) {
+	case "", "xc4010":
+		dev = library.XC4010()
+	case "xc4025":
+		dev = library.XC4025()
+	default:
+		return dev, fmt.Errorf("service: unknown device %q (want xc4010 or xc4025)", d.Name)
+	}
+	if d.CapacityFG > 0 {
+		dev.CapacityFG = d.CapacityFG
+	}
+	if d.Alpha > 0 {
+		dev.Alpha = d.Alpha
+	}
+	if d.ScratchMem > 0 {
+		dev.ScratchMem = d.ScratchMem
+	}
+	return dev, dev.Validate()
+}
+
+// SolveOptions is the JSON view of core.Options.
+type SolveOptions struct {
+	// N bounds the number of temporal partitions; 0 estimates it with
+	// the list-scheduling heuristic.
+	N int `json:"n,omitempty"`
+	// L is the latency relaxation over the maximum ALAP.
+	L int `json:"l,omitempty"`
+	// Fortet selects Fortet's linearization instead of Glover's.
+	Fortet bool `json:"fortet,omitempty"`
+	// Base disables the Section-6 tightening cuts (the untightened
+	// Table-1 model).
+	Base bool `json:"base,omitempty"`
+	// Multicycle honors FU latencies greater than one control step.
+	Multicycle bool `json:"multicycle,omitempty"`
+	// ExactSweep enables the assignment-enumeration optimality engine.
+	ExactSweep bool `json:"exact_sweep,omitempty"`
+	// DisableProbe turns off the exact-scheduling node probe.
+	DisableProbe bool `json:"disable_probe,omitempty"`
+	// PrimeHeuristic seeds branch and bound with the list-scheduled
+	// incumbent.
+	PrimeHeuristic bool `json:"prime_heuristic,omitempty"`
+	// MaxNodes limits branch-and-bound nodes (0 = unlimited).
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// TimeLimitMS bounds the solve wall-clock time; 0 applies the
+	// service's default timeout.
+	TimeLimitMS int64 `json:"time_limit_ms,omitempty"`
+}
+
+// instance is a compiled request: the validated core instance and
+// options plus the canonical dedup/cache key.
+type instance struct {
+	inst core.Instance
+	opt  core.Options
+	key  string
+}
+
+// compile parses and validates the request. The default timeout fills
+// an unset time limit, so every member of a singleflight group shares
+// one effective deadline (the limit is part of the cache key).
+func (r *Request) compile(defaultTimeout time.Duration) (*instance, error) {
+	if strings.TrimSpace(r.Graph) == "" {
+		return nil, fmt.Errorf("service: empty graph")
+	}
+	g, err := graph.ParseString(r.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("service: parsing graph: %w", err)
+	}
+	lib := library.DefaultLibrary()
+	var alloc *library.Allocation
+	if len(r.Allocation) == 0 {
+		alloc, err = library.PaperAllocation(lib, 2, 2, 1)
+	} else {
+		alloc, err = library.NewAllocation(lib, r.Allocation)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: building allocation: %w", err)
+	}
+	dev, err := r.Device.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opt := core.Options{
+		N:              r.Options.N,
+		L:              r.Options.L,
+		Tightened:      !r.Options.Base,
+		Multicycle:     r.Options.Multicycle,
+		ExactSweep:     r.Options.ExactSweep,
+		DisableProbe:   r.Options.DisableProbe,
+		PrimeHeuristic: r.Options.PrimeHeuristic,
+		MaxNodes:       r.Options.MaxNodes,
+		TimeLimit:      defaultTimeout,
+	}
+	if r.Options.Fortet {
+		opt.Linearization = core.LinFortet
+	}
+	if r.Options.TimeLimitMS > 0 {
+		opt.TimeLimit = time.Duration(r.Options.TimeLimitMS) * time.Millisecond
+	}
+	ci := &instance{
+		inst: core.Instance{Graph: g, Alloc: alloc, Device: dev},
+		opt:  opt,
+	}
+	if err := ci.inst.Validate(); err != nil {
+		return nil, err
+	}
+	ci.key = canonicalKey(g, alloc, dev, opt)
+	return ci, nil
+}
+
+// canonicalKey hashes the full instance identity — graph, exploration
+// set, device parameters (N, L, Ms, C, alpha) and solver options —
+// over canonical serializations, so textual variations of the same
+// request (whitespace, map order) collapse to one key.
+func canonicalKey(g *graph.Graph, alloc *library.Allocation, dev library.Device, opt core.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "graph:%s\n", g.String())
+	fmt.Fprintf(h, "alloc:%s\n", alloc.String())
+	fmt.Fprintf(h, "device:%s|%d|%g|%d\n", dev.Name, dev.CapacityFG, dev.Alpha, dev.ScratchMem)
+	fmt.Fprintf(h, "options:%+v\n", opt)
+	return hex.EncodeToString(h.Sum(nil))
+}

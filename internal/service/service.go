@@ -1,0 +1,548 @@
+// Package service runs temporal-partitioning solves as jobs on a
+// bounded worker pool. It is the concurrency layer in front of
+// internal/core: design-space exploration fires many — frequently
+// identical — Kaul–Vemuri instances at the optimizer, and the service
+// turns the blocking, single-caller core.SolveInstance into a
+// concurrent, cancellable, deduplicated and observable API.
+//
+// Pieces:
+//
+//   - a priority queue (FIFO within a priority) feeding a fixed pool
+//     of worker goroutines (default GOMAXPROCS);
+//   - cooperative cancellation wired through core, milp and the lp
+//     pivot loops, so cancelling a job (or a client disconnecting)
+//     stops the branch-and-bound search within milliseconds;
+//   - an instance cache keyed by a canonical hash of (graph, library,
+//     N, L, Ms, C, alpha, options) with singleflight semantics:
+//     identical in-flight instances share one solve, and completed
+//     results are kept in an LRU;
+//   - per-job and aggregate metrics (queue wait, solve wall time,
+//     branch-and-bound nodes, LP pivots, cache hits/misses).
+//
+// The HTTP front-end in cmd/tpserve exposes the same operations as a
+// JSON API; see NewHandler.
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Sentinel errors of Submit/Solve.
+var (
+	// ErrClosed reports a submission after Close.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull reports that the queue limit was reached.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrUnknownJob reports an unknown job ID.
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// Config tunes a Service. The zero value picks sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent solver goroutines; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueLimit bounds the number of queued (not yet running) jobs;
+	// 0 means 1024. Submissions beyond it fail with ErrQueueFull.
+	QueueLimit int
+	// CacheSize bounds the completed-result LRU; 0 means 256,
+	// negative disables result caching (in-flight deduplication stays
+	// active).
+	CacheSize int
+	// DefaultTimeout bounds each solve when the request carries no
+	// time limit of its own; 0 means 60 s.
+	DefaultTimeout time.Duration
+	// History bounds how many finished job records are kept for
+	// GET /jobs/{id}; 0 means 4096. The oldest finished records are
+	// evicted first.
+	History int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 1024
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.History <= 0 {
+		c.History = 4096
+	}
+}
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus string
+
+const (
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
+)
+
+// Finished reports whether the status is terminal.
+func (s JobStatus) Finished() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// job is the internal job record. All mutable fields are guarded by
+// Service.mu except cancelCh/done, which are closed at most once.
+type job struct {
+	id       string
+	req      *instance
+	priority int
+	seq      uint64
+
+	status               JobStatus
+	submitted, started   time.Time
+	finished             time.Time
+	cacheHit             bool
+	result               *core.Result
+	err                  error
+	cancelCh             chan struct{}
+	cancelOnce           sync.Once
+	done                 chan struct{}
+	index                int // heap index; -1 when not queued
+}
+
+// flight is one in-progress solve shared by every job with the same
+// canonical key. waiters counts the jobs attached to it; when the last
+// one cancels, the underlying solve is cancelled too.
+type flight struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	res     *core.Result
+	err     error
+}
+
+// Service is a concurrent solve service. Create with New; all methods
+// are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobQueue
+	jobs    map[string]*job
+	flights map[string]*flight
+	cache   *lruCache
+	seq       uint64
+	running   int
+	closed    bool
+	doneOrder []string // finished job IDs, oldest first, for eviction
+	stats     counters
+
+	wg sync.WaitGroup
+}
+
+// New starts a service with cfg.Workers solver goroutines.
+func New(cfg Config) *Service {
+	cfg.defaults()
+	s := &Service{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		flights: make(map[string]*flight),
+		cache:   newLRUCache(cfg.CacheSize),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the configured worker count.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// Submit validates and enqueues a request, returning the job ID.
+func (s *Service) Submit(req *Request) (string, error) {
+	ci, err := req.compile(s.cfg.DefaultTimeout)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if s.queue.Len() >= s.cfg.QueueLimit {
+		return "", ErrQueueFull
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%08x", s.seq),
+		req:       ci,
+		priority:  req.Priority,
+		seq:       s.seq,
+		status:    StatusQueued,
+		submitted: time.Now(),
+		cancelCh:  make(chan struct{}),
+		done:      make(chan struct{}),
+		index:     -1,
+	}
+	s.jobs[j.id] = j
+	heap.Push(&s.queue, j)
+	s.stats.submitted++
+	s.cond.Signal()
+	return j.id, nil
+}
+
+// Job returns a snapshot of the job's state.
+func (s *Service) Job(id string) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrUnknownJob
+	}
+	return s.infoLocked(j), nil
+}
+
+// Cancel requests cancellation of a job. A queued job is cancelled
+// immediately; a running job stops cooperatively (the solver polls the
+// context in its pivot and node loops). It reports whether the job
+// existed and was still cancellable.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	switch j.status {
+	case StatusQueued:
+		heap.Remove(&s.queue, j.index)
+		s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+		s.mu.Unlock()
+		return true
+	case StatusRunning:
+		// settle the job right here rather than from the solve's watcher
+		// goroutine: under heavy CPU load the watcher may not be
+		// scheduled for tens of milliseconds, and the caller-observable
+		// cancellation latency must not depend on that. The watcher
+		// still handles the flight bookkeeping (waiter counts, stopping
+		// the shared solve when the last waiter leaves).
+		s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+		s.mu.Unlock()
+		j.cancelOnce.Do(func() { close(j.cancelCh) })
+		return true
+	default:
+		s.mu.Unlock()
+		return false
+	}
+}
+
+// Solve submits the request and waits for it under ctx. When ctx is
+// cancelled or expires, the job is cancelled (stopping the underlying
+// branch and bound) and the job's final state is returned together
+// with the context's error.
+func (s *Service) Solve(ctx context.Context, req *Request) (JobInfo, error) {
+	id, err := s.Submit(req)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	select {
+	case <-j.done:
+		return s.Job(id)
+	case <-ctx.Done():
+		s.Cancel(id)
+		// the cancellation is cooperative: wait for the job to settle
+		// so the caller observes its terminal state
+		<-j.done
+		info, _ := s.Job(id)
+		return info, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the aggregate metrics.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.snapshot(s.cfg.Workers, s.queue.Len(), s.running, len(s.flights), s.cache.len())
+}
+
+// Close stops accepting jobs and drains the pool: queued jobs still
+// run. If ctx expires first, every remaining job is cancelled and
+// Close returns ctx.Err() once the workers exit.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// cancelAll cancels every queued and running job.
+func (s *Service) cancelAll() {
+	s.mu.Lock()
+	for s.queue.Len() > 0 {
+		j := heap.Pop(&s.queue).(*job)
+		s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+	}
+	var running []*job
+	for _, j := range s.jobs {
+		if j.status == StatusRunning {
+			s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+			running = append(running, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range running {
+		j.cancelOnce.Do(func() { close(j.cancelCh) })
+	}
+}
+
+// worker pulls jobs until the service is closed and the queue drained.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		j.status = StatusRunning
+		j.started = time.Now()
+		s.running++
+		s.mu.Unlock()
+		s.run(j)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// run executes one job: result cache, then singleflight join, then a
+// fresh solve as the flight leader.
+func (s *Service) run(j *job) {
+	key := j.req.key
+	s.mu.Lock()
+	if res, ok := s.cache.get(key); ok {
+		j.cacheHit = true
+		s.stats.cacheHits++
+		s.finalizeLocked(j, res, nil, StatusDone)
+		s.mu.Unlock()
+		return
+	}
+	if f, ok := s.flights[key]; ok {
+		// an identical instance is already solving: share its outcome
+		f.waiters++
+		j.cacheHit = true
+		s.stats.cacheHits++
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			s.mu.Lock()
+			switch {
+			case f.err != nil:
+				s.finalizeLocked(j, nil, f.err, StatusFailed)
+			case f.res.Cancelled:
+				s.finalizeLocked(j, f.res, context.Canceled, StatusCancelled)
+			default:
+				s.finalizeLocked(j, f.res, nil, StatusDone)
+			}
+			s.mu.Unlock()
+		case <-j.cancelCh:
+			s.mu.Lock()
+			f.waiters--
+			last := f.waiters == 0
+			s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+			s.mu.Unlock()
+			if last {
+				f.cancel()
+			}
+		}
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	s.flights[key] = f
+	s.stats.cacheMisses++
+	s.mu.Unlock()
+
+	// Mirror the job's cancellation onto the shared solve: the flight
+	// is cancelled only when its last attached job cancels, so one
+	// impatient caller cannot kill a solve other callers still want.
+	watchStop := make(chan struct{})
+	go func() {
+		select {
+		case <-j.cancelCh:
+			s.mu.Lock()
+			f.waiters--
+			last := f.waiters == 0
+			// settle the cancelled job immediately; the solve keeps
+			// running for the remaining waiters, if any
+			s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+			s.mu.Unlock()
+			if last {
+				cancel()
+			}
+		case <-watchStop:
+		}
+	}()
+
+	res, err := core.SolveInstanceContext(ctx, j.req.inst, j.req.opt)
+	close(watchStop)
+
+	s.mu.Lock()
+	f.res, f.err = res, err
+	delete(s.flights, key)
+	if res != nil {
+		// solver-effort metrics count actual work, so cache hits and
+		// joiners never double-count
+		s.stats.nodes += uint64(res.Nodes)
+		s.stats.pivots += uint64(res.LPIterations)
+	}
+	if err == nil && res != nil && !res.Cancelled {
+		s.cache.add(key, res)
+	}
+	if j.status == StatusRunning { // not already settled by the watcher
+		switch {
+		case err != nil:
+			s.finalizeLocked(j, nil, err, StatusFailed)
+		case res.Cancelled:
+			s.finalizeLocked(j, res, context.Canceled, StatusCancelled)
+		default:
+			s.finalizeLocked(j, res, nil, StatusDone)
+		}
+	}
+	s.mu.Unlock()
+	cancel()
+	close(f.done)
+}
+
+// finalizeLocked moves a job to a terminal status and updates the
+// aggregate metrics. Callers hold s.mu.
+func (s *Service) finalizeLocked(j *job, res *core.Result, err error, status JobStatus) {
+	if j.status.Finished() {
+		return
+	}
+	j.status = status
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	switch status {
+	case StatusDone:
+		s.stats.completed++
+	case StatusFailed:
+		s.stats.failed++
+	case StatusCancelled:
+		s.stats.cancelled++
+	}
+	wait := j.finished.Sub(j.submitted)
+	if !j.started.IsZero() {
+		wait = j.started.Sub(j.submitted)
+		solve := j.finished.Sub(j.started)
+		s.stats.solveTime += solve
+		if solve > s.stats.maxSolve {
+			s.stats.maxSolve = solve
+		}
+	}
+	s.stats.queueWait += wait
+	if wait > s.stats.maxQueueWait {
+		s.stats.maxQueueWait = wait
+	}
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.History {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	close(j.done)
+}
+
+// infoLocked snapshots a job. Callers hold s.mu.
+func (s *Service) infoLocked(j *job) JobInfo {
+	info := JobInfo{
+		ID:          j.id,
+		Status:      j.status,
+		Priority:    j.priority,
+		CacheHit:    j.cacheHit,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		info.QueueWaitMS = durMS(j.started.Sub(j.submitted))
+	}
+	if !j.finished.IsZero() {
+		if !j.started.IsZero() {
+			info.SolveMS = durMS(j.finished.Sub(j.started))
+		} else {
+			info.QueueWaitMS = durMS(j.finished.Sub(j.submitted))
+		}
+	}
+	if j.result != nil {
+		info.Result = outcomeOf(j.result)
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+// jobQueue is a priority queue: higher priority first, FIFO within a
+// priority (by submission sequence number).
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(a, b int) bool {
+	if q[a].priority != q[b].priority {
+		return q[a].priority > q[b].priority
+	}
+	return q[a].seq < q[b].seq
+}
+func (q jobQueue) Swap(a, b int) {
+	q[a], q[b] = q[b], q[a]
+	q[a].index = a
+	q[b].index = b
+}
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.index = len(*q)
+	*q = append(*q, j)
+}
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*q = old[:n-1]
+	return j
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,148 @@
+package service
+
+// Metrics: internal counters guarded by Service.mu and the exported
+// JSON-friendly snapshots served by GET /metrics.
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// counters accumulates service-lifetime metrics. Guarded by Service.mu.
+type counters struct {
+	submitted uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+
+	cacheHits   uint64
+	cacheMisses uint64
+
+	queueWait    time.Duration
+	maxQueueWait time.Duration
+	solveTime    time.Duration
+	maxSolve     time.Duration
+
+	nodes  uint64
+	pivots uint64
+}
+
+// Stats is a point-in-time snapshot of the service metrics, shaped for
+// JSON serving.
+type Stats struct {
+	// Workers is the configured solver-goroutine count.
+	Workers int `json:"workers"`
+	// Queued and Running are gauges of the current load.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// InFlight counts distinct instances currently solving (after
+	// deduplication); CachedResults the completed-result LRU size.
+	InFlight      int `json:"in_flight"`
+	CachedResults int `json:"cached_results"`
+
+	// Submitted/Completed/Failed/Cancelled are job-lifetime counters.
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+
+	// CacheHits counts jobs served from the result cache or attached
+	// to an in-flight identical solve; CacheMisses counts fresh solves.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+
+	// TotalNodes and TotalLPIterations accumulate solver effort
+	// (branch-and-bound nodes, simplex pivots) over fresh solves only,
+	// so a stalled counter demonstrates that cancellation really
+	// stopped the search.
+	TotalNodes        uint64 `json:"total_nodes"`
+	TotalLPIterations uint64 `json:"total_lp_iterations"`
+
+	// Latency aggregates, in milliseconds.
+	TotalQueueWaitMS float64 `json:"total_queue_wait_ms"`
+	MaxQueueWaitMS   float64 `json:"max_queue_wait_ms"`
+	TotalSolveMS     float64 `json:"total_solve_ms"`
+	MaxSolveMS       float64 `json:"max_solve_ms"`
+}
+
+func (c *counters) snapshot(workers, queued, running, inFlight, cached int) Stats {
+	return Stats{
+		Workers:           workers,
+		Queued:            queued,
+		Running:           running,
+		InFlight:          inFlight,
+		CachedResults:     cached,
+		Submitted:         c.submitted,
+		Completed:         c.completed,
+		Failed:            c.failed,
+		Cancelled:         c.cancelled,
+		CacheHits:         c.cacheHits,
+		CacheMisses:       c.cacheMisses,
+		TotalNodes:        c.nodes,
+		TotalLPIterations: c.pivots,
+		TotalQueueWaitMS:  durMS(c.queueWait),
+		MaxQueueWaitMS:    durMS(c.maxQueueWait),
+		TotalSolveMS:      durMS(c.solveTime),
+		MaxSolveMS:        durMS(c.maxSolve),
+	}
+}
+
+// JobInfo is the JSON view of a job's state.
+type JobInfo struct {
+	ID       string    `json:"id"`
+	Status   JobStatus `json:"status"`
+	Priority int       `json:"priority,omitempty"`
+	// CacheHit reports that the job was served from the result cache
+	// or deduplicated onto an identical in-flight solve.
+	CacheHit    bool      `json:"cache_hit,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	QueueWaitMS float64   `json:"queue_wait_ms"`
+	SolveMS     float64   `json:"solve_ms"`
+	Result      *Outcome  `json:"result,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// Outcome is the JSON view of a core.Result.
+type Outcome struct {
+	Feasible  bool `json:"feasible"`
+	Optimal   bool `json:"optimal"`
+	Cancelled bool `json:"cancelled,omitempty"`
+	// Comm is the optimized objective: total inter-segment data units.
+	Comm int `json:"comm,omitempty"`
+	// N is the number of partitions made available to the solution.
+	N int `json:"n,omitempty"`
+	// TaskPartition[t] is the 1-based segment of task t; OpStep[i] and
+	// OpUnit[i] are the control step and bound FU of operation i.
+	TaskPartition []int `json:"task_partition,omitempty"`
+	OpStep        []int `json:"op_step,omitempty"`
+	OpUnit        []int `json:"op_unit,omitempty"`
+	// Vars and Rows are the generated model size (the paper's
+	// Var/Const columns); Nodes and LPIterations the solver effort.
+	Vars         int     `json:"vars"`
+	Rows         int     `json:"rows"`
+	Nodes        int     `json:"nodes"`
+	LPIterations int     `json:"lp_iterations"`
+	RuntimeMS    float64 `json:"runtime_ms"`
+}
+
+func outcomeOf(res *core.Result) *Outcome {
+	o := &Outcome{
+		Feasible:     res.Feasible,
+		Optimal:      res.Optimal,
+		Cancelled:    res.Cancelled,
+		Vars:         res.Stats.Vars,
+		Rows:         res.Stats.Rows,
+		Nodes:        res.Nodes,
+		LPIterations: res.LPIterations,
+		RuntimeMS:    durMS(res.Runtime),
+	}
+	if res.Solution != nil {
+		o.Comm = res.Solution.Comm
+		o.N = res.Solution.N
+		o.TaskPartition = res.Solution.TaskPartition
+		o.OpStep = res.Solution.OpStep
+		o.OpUnit = res.Solution.OpUnit
+	}
+	return o
+}

@@ -33,6 +33,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/library"
@@ -112,6 +114,14 @@ func XC4025() Device { return library.XC4025() }
 // and bound, returning the verified optimal design.
 func Solve(inst Instance, opt Options) (*Result, error) {
 	return core.SolveInstance(inst, opt)
+}
+
+// SolveContext is Solve under a context: cancelling ctx cooperatively
+// stops the branch-and-bound search (down to the simplex pivot loop)
+// and returns a Result with Cancelled set, carrying the best incumbent
+// found so far when one exists.
+func SolveContext(ctx context.Context, inst Instance, opt Options) (*Result, error) {
+	return core.SolveInstanceContext(ctx, inst, opt)
 }
 
 // EstimateN runs the list-scheduling heuristic that upper-bounds the
