@@ -9,6 +9,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -266,6 +268,48 @@ func BenchmarkWarmRestart(b *testing.B) {
 		s.ReOptimize()
 		s.SetBound(col, 0, 1)
 		s.ReOptimize()
+	}
+}
+
+// BenchmarkMILPParallel runs the serial-vs-parallel suite behind
+// cmd/tptables -benchmilp: every internal/benchmarks instance with the
+// scheduling probe disabled, solved serially and with parallel workers.
+// On a single CPU the parallel runs measure coordination overhead
+// rather than speedup; BENCH_milp.json records GOMAXPROCS alongside
+// the numbers for that reason.
+func BenchmarkMILPParallel(b *testing.B) {
+	suite, err := experiments.MILPBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	for _, e := range suite {
+		for _, par := range []int{0, workers} {
+			name := e.Name + "/serial"
+			if par > 0 {
+				name = fmt.Sprintf("%s/parallel%d", e.Name, par)
+			}
+			b.Run(name, func(b *testing.B) {
+				opt := e.Opt
+				opt.Parallelism = par
+				var nodes, pivots int
+				for n := 0; n < b.N; n++ {
+					res, err := core.SolveInstance(e.Inst, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Optimal {
+						b.Fatalf("%s: not solved to optimality", e.Name)
+					}
+					nodes, pivots = res.Nodes, res.LPIterations
+				}
+				b.ReportMetric(float64(nodes), "nodes")
+				b.ReportMetric(float64(pivots), "lp-pivots")
+			})
+		}
 	}
 }
 

@@ -34,19 +34,21 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "queued-job limit (0 = default)")
-		cache   = flag.Int("cache", 0, "result-cache entries (0 = default, -1 disables)")
-		timeout = flag.Duration("timeout", 60*time.Second, "default per-solve time limit")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "queued-job limit (0 = default)")
+		cache    = flag.Int("cache", 0, "result-cache entries (0 = default, -1 disables)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "default per-solve time limit")
+		parallel = flag.Int("parallel", 0, "branch-and-bound workers per solve (0 = serial)")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueLimit:     *queue,
-		CacheSize:      *cache,
-		DefaultTimeout: *timeout,
+		Workers:            *workers,
+		QueueLimit:         *queue,
+		CacheSize:          *cache,
+		DefaultTimeout:     *timeout,
+		DefaultParallelism: *parallel,
 	})
 
 	srv := &http.Server{

@@ -28,29 +28,30 @@ import (
 
 func main() {
 	var (
-		path    = flag.String("graph", "-", "specification file (- for stdin)")
-		n       = flag.Int("n", 0, "number of temporal segments (0 = estimate)")
-		l       = flag.Int("l", 0, "latency relaxation over the ALAP bound")
-		adders  = flag.Int("adders", 2, "adders in the exploration set")
-		muls    = flag.Int("muls", 2, "multipliers in the exploration set")
-		subs    = flag.Int("subs", 1, "subtracters in the exploration set")
-		device  = flag.String("device", "xc4010", "target device: xc4010 or xc4025")
-		cap     = flag.Int("capacity", 0, "override device FG capacity")
-		mem     = flag.Int("mem", -1, "override scratch memory size")
-		alpha   = flag.Float64("alpha", 0, "override logic-optimization factor")
-		lin     = flag.String("lin", "glover", "linearization: glover or fortet")
-		branch  = flag.String("branch", "paper", "branching: paper, first or most")
-		loose   = flag.Bool("untightened", false, "drop the tightening cuts (28)-(30),(32)")
-		perProd = flag.Bool("wperproduct", false, "exact per-product w linearization (eqs. 4-5)")
-		timeout = flag.Duration("timeout", 5*time.Minute, "solver time limit")
-		vhdl    = flag.Bool("vhdl", false, "emit per-segment RTL netlists")
-		sim     = flag.Bool("sim", false, "simulate the solution on the device model")
-		vcd     = flag.String("vcd", "", "write a VCD waveform of the simulated execution to this file")
-		svg     = flag.String("svg", "", "write a Gantt chart of the schedule to this SVG file")
-		mps     = flag.String("mps", "", "dump the generated ILP in MPS format to this file")
-		lpOut   = flag.String("lp", "", "dump the generated ILP in CPLEX LP format to this file")
-		jsonOut = flag.Bool("json", false, "print the solution as JSON")
-		quiet   = flag.Bool("q", false, "suppress the schedule report")
+		path     = flag.String("graph", "-", "specification file (- for stdin)")
+		n        = flag.Int("n", 0, "number of temporal segments (0 = estimate)")
+		l        = flag.Int("l", 0, "latency relaxation over the ALAP bound")
+		adders   = flag.Int("adders", 2, "adders in the exploration set")
+		muls     = flag.Int("muls", 2, "multipliers in the exploration set")
+		subs     = flag.Int("subs", 1, "subtracters in the exploration set")
+		device   = flag.String("device", "xc4010", "target device: xc4010 or xc4025")
+		cap      = flag.Int("capacity", 0, "override device FG capacity")
+		mem      = flag.Int("mem", -1, "override scratch memory size")
+		alpha    = flag.Float64("alpha", 0, "override logic-optimization factor")
+		lin      = flag.String("lin", "glover", "linearization: glover or fortet")
+		branch   = flag.String("branch", "paper", "branching: paper, first or most")
+		loose    = flag.Bool("untightened", false, "drop the tightening cuts (28)-(30),(32)")
+		perProd  = flag.Bool("wperproduct", false, "exact per-product w linearization (eqs. 4-5)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "solver time limit")
+		parallel = flag.Int("parallel", 0, "branch-and-bound workers (0 or 1 = serial)")
+		vhdl     = flag.Bool("vhdl", false, "emit per-segment RTL netlists")
+		sim      = flag.Bool("sim", false, "simulate the solution on the device model")
+		vcd      = flag.String("vcd", "", "write a VCD waveform of the simulated execution to this file")
+		svg      = flag.String("svg", "", "write a Gantt chart of the schedule to this SVG file")
+		mps      = flag.String("mps", "", "dump the generated ILP in MPS format to this file")
+		lpOut    = flag.String("lp", "", "dump the generated ILP in CPLEX LP format to this file")
+		jsonOut  = flag.Bool("json", false, "print the solution as JSON")
+		quiet    = flag.Bool("q", false, "suppress the schedule report")
 	)
 	flag.Parse()
 
@@ -82,6 +83,7 @@ func main() {
 		Tightened:   !*loose,
 		WPerProduct: *perProd,
 		TimeLimit:   *timeout,
+		Parallelism: *parallel,
 	}
 	switch *lin {
 	case "glover":

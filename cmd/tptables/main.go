@@ -3,26 +3,39 @@
 //
 // Usage:
 //
-//	tptables                 # every table
-//	tptables -table 3        # just Table 3
-//	tptables -timeout 30s    # tighter per-row budget
+//	tptables                          # every table
+//	tptables -table 3                 # just Table 3
+//	tptables -timeout 30s             # tighter per-row budget
+//	tptables -benchmilp BENCH_milp.json  # serial-vs-parallel B&B suite
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		table   = flag.String("table", "", "table to run: 1, 2, 3, 4, lin, branching, tighten (empty = all)")
-		timeout = flag.Duration("timeout", experiments.DefaultTimeLimit, "per-row time limit")
+		table     = flag.String("table", "", "table to run: 1, 2, 3, 4, lin, branching, tighten (empty = all)")
+		timeout   = flag.Duration("timeout", experiments.DefaultTimeLimit, "per-row time limit")
+		benchmilp = flag.String("benchmilp", "", "run the serial-vs-parallel branch-and-bound suite and write its JSON report to this file")
+		parallel  = flag.Int("parallel", 0, "worker count for -benchmilp (0 = GOMAXPROCS, min 2)")
 	)
 	flag.Parse()
+
+	if *benchmilp != "" {
+		if err := runBenchMILP(*benchmilp, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "tptables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	names := []string{*table}
 	if *table == "" {
@@ -49,4 +62,36 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runBenchMILP runs the parallel branch-and-bound suite, prints a
+// per-entry summary and writes the machine-readable report.
+func runBenchMILP(path string, parallel int) error {
+	rep, err := experiments.RunMILPBench(parallel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== benchmilp (GOMAXPROCS=%d, parallelism=%d)\n", rep.GOMAXPROCS, rep.Parallelism)
+	for _, e := range rep.Entries {
+		fmt.Printf("%-14s serial %8v %4d nodes %6d pivots | parallel %8v %4d nodes %6d pivots | comm %2d | speedup %.2fx\n",
+			e.Name,
+			time.Duration(e.Serial.NS).Round(time.Millisecond), e.Serial.Nodes, e.Serial.LPPivots,
+			time.Duration(e.Parallel.NS).Round(time.Millisecond), e.Parallel.Nodes, e.Parallel.LPPivots,
+			e.Serial.Comm, e.Speedup)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("benchmilp: report written to %s\n", path)
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/lp"
 	"repro/internal/sched"
@@ -56,6 +57,12 @@ type Model struct {
 	// stats snapshots the generated model size before any presolve.
 	stats lp.Stats
 	// probeCache memoizes exact-schedule results per task assignment.
+	// Guarded by probeMu: under Options.Parallelism > 1 every branch-
+	// and-bound worker probes (and branches) concurrently. Concurrent
+	// misses may duplicate an exact-schedule run for the same
+	// assignment; the cache stays consistent and the extra work is
+	// bounded by the worker count.
+	probeMu    sync.Mutex
 	probeCache map[string]probeEntry
 	// ctx is the cancellation context of the running SolveContext,
 	// polled by the exact sweep and the scheduling probes; nil (never

@@ -143,6 +143,13 @@ type Options struct {
 	MaxNodes int
 	// TimeLimit bounds the solve wall-clock time (0 = unlimited).
 	TimeLimit time.Duration
+	// Parallelism sets the number of branch-and-bound workers for the
+	// MILP search (milp.Options.Parallelism). 0 or 1 keeps the serial,
+	// deterministic search; higher values split the tree across that
+	// many goroutines over cloned LP solvers with a shared incumbent.
+	// The optimum and its feasibility are identical either way — only
+	// node/pivot counts and runtime change.
+	Parallelism int
 }
 
 // Instance is a complete problem instance: the behavioral

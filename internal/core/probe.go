@@ -135,10 +135,7 @@ func (m *Model) scheduleFor(part []int, deep bool) probeEntry {
 // budget-inconclusive.
 func (m *Model) scheduleForDeadline(part []int, deep bool, deadline time.Time) probeEntry {
 	key := fmt.Sprint(part)
-	if m.probeCache == nil {
-		m.probeCache = map[string]probeEntry{}
-	}
-	if ent, ok := m.probeCache[key]; ok {
+	if ent, ok := m.lookupProbe(key); ok {
 		if ent.status != schedBudget || ent.full || !deep {
 			return ent
 		}
@@ -160,10 +157,22 @@ func (m *Model) scheduleForDeadline(part []int, deep bool, deadline time.Time) p
 	return ent
 }
 
+func (m *Model) lookupProbe(key string) (probeEntry, bool) {
+	m.probeMu.Lock()
+	ent, ok := m.probeCache[key]
+	m.probeMu.Unlock()
+	return ent, ok
+}
+
 func (m *Model) cacheProbe(key string, ent probeEntry) {
+	m.probeMu.Lock()
+	if m.probeCache == nil {
+		m.probeCache = map[string]probeEntry{}
+	}
 	if len(m.probeCache) < 200_000 {
 		m.probeCache[key] = ent
 	}
+	m.probeMu.Unlock()
 }
 
 // listWitness list-schedules the assignment; success within the step
@@ -523,7 +532,7 @@ func (m *Model) paperBranch(x []float64, bound func(int) (float64, float64)) (in
 	}
 	if !m.Opt.DisableProbe {
 		if part, ok := m.integralAssignment(x); ok {
-			if ent, hit := m.probeCache[fmt.Sprint(part)]; hit && ent.status != schedFound {
+			if ent, hit := m.lookupProbe(fmt.Sprint(part)); hit && ent.status != schedFound {
 				// the assignment is proven unschedulable (pin so the
 				// exhaustion proof prunes) or inconclusive (pin so the
 				// fallback x-search stays confined to this assignment)

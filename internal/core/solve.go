@@ -89,6 +89,7 @@ func (m *Model) SolveContext(ctx context.Context) (*Result, error) {
 		MaxNodes:    m.Opt.MaxNodes,
 		TimeLimit:   m.Opt.TimeLimit,
 		Complete:    m.complete,
+		Parallelism: m.Opt.Parallelism,
 	}
 	if !m.Opt.DisableProbe {
 		mopt.Probe = m.probe
@@ -145,6 +146,14 @@ func (m *Model) SolveContext(ctx context.Context) (*Result, error) {
 			remaining = time.Second
 		}
 		mopt.TimeLimit = remaining
+	}
+	if mopt.Parallelism > 1 {
+		// the probe and branching hooks read the graph's lazily-built
+		// adjacency caches from every worker; force the rebuild now so
+		// concurrent readers never trigger it
+		if _, err := m.Inst.Graph.TopoOps(); err != nil {
+			return nil, err
+		}
 	}
 	res, err := milp.SolveContext(ctx, m.P, mopt)
 	if err != nil {

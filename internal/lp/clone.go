@@ -1,0 +1,106 @@
+package lp
+
+import "fmt"
+
+// Clone returns an independent deep copy of the solver: tableau, basis,
+// bounds, basic values, nonbasic statuses and reduced costs. Parent and
+// clone may solve concurrently afterwards — only the immutable original
+// row data is shared. This is the primitive the parallel branch-and-
+// bound workers in internal/milp build on: clone once per worker, then
+// branch with SetBound/ReOptimize as usual.
+//
+// The clone starts with Iterations = 0 so callers can attribute pivots
+// per worker; MaxIter, Deadline and Ctx carry over.
+func (s *Solver) Clone() *Solver {
+	return &Solver{
+		n: s.n, m: s.m, ntot: s.ntot,
+		c:        append([]float64(nil), s.c...),
+		lo:       append([]float64(nil), s.lo...),
+		hi:       append([]float64(nil), s.hi...),
+		tab:      append([]float64(nil), s.tab...),
+		beta:     append([]float64(nil), s.beta...),
+		basis:    append([]int(nil), s.basis...),
+		inRow:    append([]int(nil), s.inRow...),
+		vstat:    append([]varStatus(nil), s.vstat...),
+		nbVal:    append([]float64(nil), s.nbVal...),
+		d:        append([]float64(nil), s.d...),
+		origRows: s.origRows, // immutable after NewSolver
+		status:   s.status,
+		bland:    s.bland,
+		degRun:   s.degRun,
+		MaxIter:  s.MaxIter,
+		Deadline: s.Deadline,
+		Ctx:      s.Ctx,
+	}
+}
+
+// Snapshot captures the solver's bounds and basis — including the
+// factorized tableau, which IS the basis representation in this dense
+// formulation — so the exact state can be reinstated later with
+// Restore. Unlike Clone, a Snapshot is not a usable solver; it is a
+// reusable buffer, and restoring into the owning solver is allocation-
+// free. The intended pattern is a worker that anchors itself once at a
+// known-good state (say the solved root relaxation) and re-anchors
+// before every subproblem instead of paying for a fresh Clone.
+type Snapshot struct {
+	n, m   int
+	c      []float64
+	lo, hi []float64
+	tab    []float64
+	beta   []float64
+	basis  []int
+	inRow  []int
+	vstat  []varStatus
+	nbVal  []float64
+	d      []float64
+	status Status
+	bland  bool
+	degRun int
+}
+
+// Snapshot captures the current state into a new snapshot buffer.
+func (s *Solver) Snapshot() *Snapshot {
+	return &Snapshot{
+		n: s.n, m: s.m,
+		c:      append([]float64(nil), s.c...),
+		lo:     append([]float64(nil), s.lo...),
+		hi:     append([]float64(nil), s.hi...),
+		tab:    append([]float64(nil), s.tab...),
+		beta:   append([]float64(nil), s.beta...),
+		basis:  append([]int(nil), s.basis...),
+		inRow:  append([]int(nil), s.inRow...),
+		vstat:  append([]varStatus(nil), s.vstat...),
+		nbVal:  append([]float64(nil), s.nbVal...),
+		d:      append([]float64(nil), s.d...),
+		status: s.status,
+		bland:  s.bland,
+		degRun: s.degRun,
+	}
+}
+
+// Restore reinstates a state previously captured with Snapshot on this
+// solver (or on the solver this one was cloned from). It copies into
+// the solver's existing arrays without allocating. Restore panics if
+// the snapshot's dimensions do not match.
+func (s *Solver) Restore(sn *Snapshot) {
+	if sn.n != s.n || sn.m != s.m {
+		panic(fmt.Sprintf("lp: Restore: snapshot is %dx%d, solver is %dx%d",
+			sn.m, sn.n, s.m, s.n))
+	}
+	copy(s.c, sn.c)
+	copy(s.lo, sn.lo)
+	copy(s.hi, sn.hi)
+	copy(s.tab, sn.tab)
+	copy(s.beta, sn.beta)
+	copy(s.basis, sn.basis)
+	copy(s.inRow, sn.inRow)
+	copy(s.vstat, sn.vstat)
+	copy(s.nbVal, sn.nbVal)
+	copy(s.d, sn.d)
+	s.status = sn.status
+	s.bland = sn.bland
+	s.degRun = sn.degRun
+	// pricing candidates refer to the replaced state; drop them
+	s.pCand = s.pCand[:0]
+	s.dCand = s.dCand[:0]
+}

@@ -52,38 +52,93 @@ func (s *Solver) primalSimplex() Status {
 	return StatusIterLimit
 }
 
+// Candidate-list pricing parameters: candCap bounds the cached
+// candidate set, and the rotating rebuild scans windows of
+// max(minWindow, ntot/8) columns (rows for the dual) at a time.
+const (
+	candCap   = 32
+	minWindow = 64
+)
+
+// primalViol returns the dual-infeasibility of nonbasic column j under
+// the Dantzig measure, or 0 when j is basic, fixed, or priced out.
+func (s *Solver) primalViol(j int) float64 {
+	switch s.vstat[j] {
+	case atLower:
+		if s.lo[j] == s.hi[j] {
+			return 0 // fixed
+		}
+		return -s.d[j]
+	case atUpper:
+		if s.lo[j] == s.hi[j] {
+			return 0
+		}
+		return s.d[j]
+	case atFree:
+		return math.Abs(s.d[j])
+	}
+	return 0 // basic
+}
+
 // pricePrimal selects the entering variable, or -1 at optimality.
+//
+// Under Bland's rule it is the exact lowest-index full scan the
+// anti-cycling argument requires. Otherwise it uses candidate-list
+// partial pricing: first re-validate the cached candidate set from the
+// previous pivots, then — only if that is empty — rebuild it by
+// scanning a rotating window of columns, stopping at the first window
+// that yields a violation. Optimality is only declared after the
+// cursor wraps the full column range without finding one, which is
+// exactly the certificate the old full scan produced.
 func (s *Solver) pricePrimal() int {
+	if s.bland {
+		for j := 0; j < s.ntot; j++ {
+			if s.primalViol(j) > optTol {
+				return j
+			}
+		}
+		return -1
+	}
 	best, bestViol := -1, optTol
-	for j := 0; j < s.ntot; j++ {
-		var viol float64
-		switch s.vstat[j] {
-		case basic:
-			continue
-		case atLower:
-			if s.lo[j] == s.hi[j] {
-				continue // fixed
+	keep := s.pCand[:0]
+	for _, jj := range s.pCand {
+		j := int(jj)
+		if viol := s.primalViol(j); viol > optTol {
+			keep = append(keep, jj)
+			if viol > bestViol {
+				best, bestViol = j, viol
 			}
-			viol = -s.d[j]
-		case atUpper:
-			if s.lo[j] == s.hi[j] {
-				continue
-			}
-			viol = s.d[j]
-		case atFree:
-			viol = math.Abs(s.d[j])
-		}
-		if viol <= optTol {
-			continue
-		}
-		if s.bland {
-			return j
-		}
-		if viol > bestViol {
-			best, bestViol = j, viol
 		}
 	}
-	return best
+	s.pCand = keep
+	if best >= 0 {
+		return best
+	}
+	window := s.ntot / 8
+	if window < minWindow {
+		window = minWindow
+	}
+	for scanned := 0; scanned < s.ntot; {
+		for k := 0; k < window && scanned < s.ntot; k++ {
+			j := s.pCur
+			if s.pCur++; s.pCur == s.ntot {
+				s.pCur = 0
+			}
+			scanned++
+			if viol := s.primalViol(j); viol > optTol {
+				if len(s.pCand) < candCap {
+					s.pCand = append(s.pCand, int32(j))
+				}
+				if viol > bestViol {
+					best, bestViol = j, viol
+				}
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return -1 // full wrap, nothing violated: optimal
 }
 
 // ratioPrimal runs the bounded-variable ratio test for entering
@@ -166,7 +221,10 @@ func (s *Solver) dualSimplex() Status {
 		}
 		q := s.ratioDual(r, below)
 		if q < 0 {
-			return StatusInfeasible
+			if s.farkasCertified(r) {
+				return StatusInfeasible
+			}
+			return statusSuspect
 		}
 		b := s.basis[r]
 		var target float64
@@ -185,27 +243,70 @@ func (s *Solver) dualSimplex() Status {
 	return StatusIterLimit
 }
 
+// dualViol returns the bound violation of the basic variable in row i
+// and whether it lies below its lower bound. At most one side can be
+// violated since lo <= hi.
+func (s *Solver) dualViol(i int) (float64, bool) {
+	b := s.basis[i]
+	if v := s.lo[b] - s.beta[i]; v > 0 {
+		return v, true
+	}
+	return s.beta[i] - s.hi[b], false
+}
+
 // priceDual selects the row of the most infeasible basic variable,
 // reporting whether it violates its lower bound. Returns -1 when
-// primal feasible.
+// primal feasible. Same candidate-list scheme as pricePrimal, rotating
+// over rows; primal feasibility is only declared after a full wrap.
 func (s *Solver) priceDual() (int, bool) {
-	best, bestViol, below := -1, feasTol, false
-	for i := 0; i < s.m; i++ {
-		b := s.basis[i]
-		if v := s.lo[b] - s.beta[i]; v > bestViol {
-			if s.bland {
-				return i, true
+	if s.bland {
+		for i := 0; i < s.m; i++ {
+			if viol, below := s.dualViol(i); viol > feasTol {
+				return i, below
 			}
-			best, bestViol, below = i, v, true
 		}
-		if v := s.beta[i] - s.hi[b]; v > bestViol {
-			if s.bland {
-				return i, false
+		return -1, false
+	}
+	best, bestViol, below := -1, feasTol, false
+	keep := s.dCand[:0]
+	for _, ii := range s.dCand {
+		i := int(ii)
+		if viol, bl := s.dualViol(i); viol > feasTol {
+			keep = append(keep, ii)
+			if viol > bestViol {
+				best, bestViol, below = i, viol, bl
 			}
-			best, bestViol, below = i, v, false
 		}
 	}
-	return best, below
+	s.dCand = keep
+	if best >= 0 {
+		return best, below
+	}
+	window := s.m / 8
+	if window < minWindow {
+		window = minWindow
+	}
+	for scanned := 0; scanned < s.m; {
+		for k := 0; k < window && scanned < s.m; k++ {
+			i := s.dCur
+			if s.dCur++; s.dCur == s.m {
+				s.dCur = 0
+			}
+			scanned++
+			if viol, bl := s.dualViol(i); viol > feasTol {
+				if len(s.dCand) < candCap {
+					s.dCand = append(s.dCand, int32(i))
+				}
+				if viol > bestViol {
+					best, bestViol, below = i, viol, bl
+				}
+			}
+		}
+		if best >= 0 {
+			return best, below
+		}
+	}
+	return -1, false // full wrap, all basics within bounds
 }
 
 // ratioDual selects the entering variable for leaving row r. below
@@ -251,6 +352,70 @@ func (s *Solver) ratioDual(r int, below bool) int {
 		}
 	}
 	return q
+}
+
+// farkasCertified validates a dual-simplex infeasibility verdict
+// against the original problem data, independent of any drift the
+// incrementally-updated tableau may have accumulated.
+//
+// Row r of the tableau carries the basis-inverse multipliers in its
+// logical columns: y_i = tab[r][n+i]. For ANY multiplier vector y the
+// aggregated equation sum_j w_j z_j = 0 with w = y^T [A | I] holds for
+// every point satisfying the row system, so recomputing w exactly from
+// the stored rows and interval-evaluating it over the bound box gives a
+// rigorous test: if the range excludes 0, the box contains no feasible
+// point. A drifted y merely weakens the certificate (the range then
+// straddles 0 and certification fails); it can never prove a feasible
+// problem infeasible. Cost is one pass over the matrix nonzeros —
+// negligible next to a single dense pivot.
+func (s *Solver) farkasCertified(r int) bool {
+	trow := s.tab[r*s.ntot : (r+1)*s.ntot]
+	if cap(s.fbuf) < s.ntot {
+		s.fbuf = make([]float64, s.ntot)
+	}
+	w := s.fbuf[:s.ntot]
+	for j := range w {
+		w[j] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		y := trow[s.n+i]
+		if y == 0 {
+			continue
+		}
+		w[s.n+i] = y
+		row := s.origRows[i]
+		for k, j := range row.idx {
+			w[j] += y * row.val[k]
+		}
+	}
+	// interval-evaluate sum_j w_j z_j over the box [lo, hi]
+	rlo, rhi, mag := 0.0, 0.0, 0.0
+	for j := 0; j < s.ntot; j++ {
+		wj := w[j]
+		if wj == 0 {
+			continue
+		}
+		a, b := wj*s.lo[j], wj*s.hi[j]
+		if a > b {
+			a, b = b, a
+		}
+		rlo += a
+		rhi += b
+		if m := math.Abs(a); m > mag && !math.IsInf(m, 1) {
+			mag = m
+		}
+		if m := math.Abs(b); m > mag && !math.IsInf(m, 1) {
+			mag = m
+		}
+		if math.IsInf(rlo, -1) && math.IsInf(rhi, 1) {
+			return false // unbounded in both directions: nothing provable
+		}
+	}
+	// the slack must clear the roundoff of accumulating the interval
+	// sums themselves; certification failing on a near-tolerance true
+	// infeasibility only costs a refactorized re-solve, never an error
+	tol := 1e-7 + 1e-9*mag
+	return rlo > tol || rhi < -tol
 }
 
 // noteDegenerate tracks degenerate pivots and enables Bland's rule

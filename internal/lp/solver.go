@@ -21,6 +21,12 @@ const (
 	StatusUnbounded
 	// StatusIterLimit means the iteration limit was hit.
 	StatusIterLimit
+
+	// statusSuspect is internal: the dual simplex concluded infeasible
+	// but the verdict failed Farkas certification against the original
+	// row data, so the incrementally-updated tableau may have drifted.
+	// optimize retries from a fresh factorization; callers never see it.
+	statusSuspect Status = -1
 )
 
 func (s Status) String() string {
@@ -77,8 +83,18 @@ type Solver struct {
 	nbVal  []float64 // value of nonbasic variables
 	d      []float64 // reduced costs
 
-	origRows []row   // for rebuilds
-	nzbuf    []int32 // scratch: pivot-row nonzero support
+	origRows []row     // for rebuilds
+	nzbuf    []int32   // scratch: pivot-row nonzero support
+	fbuf     []float64 // scratch: Farkas certificate aggregation
+
+	// Candidate-list partial pricing state. The cached candidates are a
+	// heuristic only: entries are re-validated before use and optimality
+	// is never declared without a full wrap of the rotating cursor, so a
+	// stale list can cost extra scans but never a wrong answer.
+	pCand []int32 // primal: columns with recently-violated reduced costs
+	pCur  int     // primal: rotating scan cursor
+	dCand []int32 // dual: rows with recently-infeasible basic values
+	dCur  int     // dual: rotating scan cursor
 
 	status Status
 	bland  bool
@@ -168,6 +184,10 @@ func (s *Solver) reset() {
 	s.status = StatusUnknown
 	s.bland = false
 	s.degRun = 0
+	s.pCand = s.pCand[:0]
+	s.pCur = 0
+	s.dCand = s.dCand[:0]
+	s.dCur = 0
 }
 
 // setNonbasicStart places nonbasic variable j on the bound favoured by
@@ -331,9 +351,30 @@ func (s *Solver) ReOptimize() Status {
 	return s.optimize()
 }
 
-// optimize dispatches to primal/dual simplex based on which
-// feasibility the current basis retains.
+// optimize runs the simplex dispatch, retrying once from a fresh
+// factorization when an infeasibility verdict fails Farkas
+// certification: a branch-and-bound caller prunes a whole subtree on
+// StatusInfeasible, so that verdict must never rest on a drifted
+// tableau alone. If even the rebuilt tableau produces an uncertified
+// infeasible verdict, it is accepted as a best effort (this matches
+// the pre-certification trust level of a cold solve, and keeps e.g.
+// near-tolerance pivots from looping the retry).
 func (s *Solver) optimize() Status {
+	st := s.runSimplex()
+	if st == statusSuspect {
+		s.reset()
+		st = s.runSimplex()
+		if st == statusSuspect {
+			st = StatusInfeasible
+		}
+	}
+	s.status = st
+	return st
+}
+
+// runSimplex dispatches to primal/dual simplex based on which
+// feasibility the current basis retains.
+func (s *Solver) runSimplex() Status {
 	s.bland = false
 	s.degRun = 0
 	dualOK := s.dualFeasible()
@@ -352,7 +393,6 @@ func (s *Solver) optimize() Status {
 			st = s.primalSimplex()
 		}
 	}
-	s.status = st
 	return st
 }
 

@@ -128,7 +128,20 @@ type Options struct {
 	// is a valid incumbent), and/or exhausted=true asserting that the
 	// node's subtree provably contains no feasible point. Returning
 	// exhausted without such a proof makes the search unsound.
+	// Under Parallelism > 1 the Probe is invoked concurrently from
+	// every worker and must be safe for that.
 	Probe func(x []float64, bound func(col int) (lo, hi float64)) (xc []float64, exhausted bool)
+	// Parallelism sets the number of branch-and-bound workers. 0 or 1
+	// keeps today's serial depth-first search, pivot for pivot. Higher
+	// values split the tree near the root into independent subproblems
+	// (branching-bound prefixes) solved by that many goroutines, each
+	// owning a clone of the LP solver and pruning against a shared
+	// atomic incumbent. The returned Objective, X feasibility and
+	// Status are identical to the serial solve — only Nodes,
+	// LPIterations and the traversal order may differ. Stateful
+	// Branchers must implement Forker to get a per-worker instance;
+	// Probe and Complete hooks must be concurrency-safe.
+	Parallelism int
 }
 
 // Result reports a solve.
@@ -155,22 +168,34 @@ type Result struct {
 type stopReason int
 
 const (
-	reasonNone stopReason = iota
-	reasonTime            // deadline or LP iteration cap
-	reasonNodes           // Options.MaxNodes
-	reasonCtx             // context cancelled by the caller
+	reasonNone  stopReason = iota
+	reasonTime             // deadline or LP iteration cap
+	reasonNodes            // Options.MaxNodes
+	reasonCtx              // context cancelled by the caller
 )
 
+// solver is the per-goroutine search state: the serial solve uses one,
+// a parallel solve uses one per worker plus one for the root split.
+// Everything cross-worker lives in the shared struct.
 type solver struct {
-	lps    *lp.Solver
-	prob   *lp.Problem
-	opt    Options
-	ctx    context.Context
-	isInt  []bool
-	incObj float64
-	incX   []float64
-	nodes  int
-	reason stopReason
+	lps      *lp.Solver
+	prob     *lp.Problem
+	opt      Options
+	ctx      context.Context
+	isInt    []bool
+	sh       *shared
+	brancher Brancher
+	observer BoundObserver
+	local    int // nodes explored by this worker (drives ctx-poll cadence)
+	reason   stopReason
+
+	// root-split collection mode (see solveParallel): when collect is
+	// non-nil, branch() records nodes at depth >= splitDepth as
+	// subproblems instead of descending into them. path tracks the
+	// branching fixes from the root to the current node.
+	splitDepth int
+	collect    *[]subproblem
+	path       []fix
 }
 
 // Solve runs branch and bound on p without external cancellation.
@@ -214,10 +239,13 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		}
 		s.isInt[j] = true
 	}
-	s.incObj = math.Inf(1)
+	upper := math.Inf(1)
 	if opt.InitialUpper != 0 && !math.IsInf(opt.InitialUpper, 1) {
-		s.incObj = opt.InitialUpper
+		upper = opt.InitialUpper
 	}
+	s.sh = newShared(upper)
+	s.brancher = opt.Brancher
+	s.observer = observerOf(opt.Brancher)
 	lps.Ctx = ctx // bound individual LP solves too
 
 	if err := ctx.Err(); err != nil {
@@ -252,9 +280,14 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		return res, nil
 	}
 	res.BestBound = lps.Objective()
-	s.branch(lp.StatusOptimal)
+	if opt.Parallelism > 1 {
+		s.solveParallel(res)
+	} else {
+		s.branch(lp.StatusOptimal, 0)
+	}
 
-	res.Nodes = s.nodes
+	incObj, incX := s.sh.best()
+	res.Nodes = int(s.sh.nodes.Load())
 	res.LPIterations = lps.Iterations
 	res.Runtime = time.Since(start)
 	switch {
@@ -262,20 +295,22 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		res.Status = StatusCancelled
 	case s.reason == reasonNodes:
 		res.Status = StatusNodeLimit
-	case s.incX == nil && s.reason != reasonNone:
+	case incX == nil && s.reason != reasonNone:
 		res.Status = StatusLimit
-	case s.incX == nil:
+	case incX == nil:
 		res.Status = StatusInfeasible
 	case s.reason != reasonNone:
 		res.Status = StatusFeasible
 	default:
 		res.Status = StatusOptimal
 	}
-	if s.incX != nil {
-		res.X = s.incX
-		res.Objective = s.incObj
+	if incX != nil {
+		res.X = incX
+		res.Objective = incObj
 		if s.reason == reasonNone {
-			res.BestBound = s.incObj
+			res.BestBound = incObj
+		} else if res.BestBound > incObj {
+			res.BestBound = incObj
 		}
 	}
 	return res, nil
@@ -292,10 +327,13 @@ func (s *solver) bound(z float64) float64 {
 
 // branch explores the current node (whose LP relaxation has already
 // been solved with the given status) and its subtree, restoring all
-// bound changes before returning.
-func (s *solver) branch(st lp.Status) {
-	s.nodes++
-	if r := s.limitHit(); r != reasonNone {
+// bound changes before returning. depth is the number of branching
+// fixes between the root and this node; it only matters in the
+// root-split collection mode of a parallel solve.
+func (s *solver) branch(st lp.Status, depth int) {
+	s.local++
+	total := s.sh.nodes.Add(1)
+	if r := s.limitHit(total); r != reasonNone {
 		s.reason = r
 		return
 	}
@@ -319,7 +357,7 @@ func (s *solver) branch(st lp.Status) {
 		}
 	}
 	z := s.lps.Objective()
-	if s.bound(z) >= s.incObj-1e-9 {
+	if s.bound(z) >= s.sh.incumbent()-1e-9 {
 		return // dominated
 	}
 	x := s.lps.Solution()
@@ -333,8 +371,8 @@ func (s *solver) branch(st lp.Status) {
 		}
 	}
 	col, oneFirst := -1, true
-	if s.opt.Brancher != nil {
-		col, oneFirst = s.opt.Brancher.Select(x, s.lps.Bound)
+	if s.brancher != nil {
+		col, oneFirst = s.brancher.Select(x, s.lps.Bound)
 	}
 	if col < 0 && s.opt.Complete != nil {
 		if xc := s.opt.Complete(x); xc != nil && s.acceptCandidate(xc, z, true) {
@@ -360,7 +398,7 @@ func (s *solver) branch(st lp.Status) {
 				if s.prob.Feasible(x, 1e-5) != nil {
 					return // still inconsistent: do not trust this node
 				}
-				if s.bound(z) >= s.incObj-1e-9 {
+				if s.bound(z) >= s.sh.incumbent()-1e-9 {
 					return
 				}
 				col, oneFirst = s.mostFractional(x)
@@ -373,12 +411,19 @@ func (s *solver) branch(st lp.Status) {
 			if s.opt.ObjIntegral {
 				obj = math.Round(obj)
 			}
-			if obj < s.incObj-1e-9 {
-				s.incObj = obj
-				s.incX = x
-			}
+			s.sh.install(obj, x)
 			return
 		}
+	}
+	if s.collect != nil && depth >= s.splitDepth {
+		// root-split mode: this node needs branching and is deep enough
+		// to hand to a worker — record its branching prefix and bound
+		// instead of descending.
+		*s.collect = append(*s.collect, subproblem{
+			fixes: append([]fix(nil), s.path...),
+			bound: s.bound(z),
+		})
+		return
 	}
 	first, second := 1.0, 0.0
 	if !oneFirst {
@@ -390,8 +435,13 @@ func (s *solver) branch(st lp.Status) {
 			continue // value already excluded on this path
 		}
 		s.lps.SetBound(col, v, v)
+		s.path = append(s.path, fix{col: col, val: v})
 		cst := s.lps.ReOptimize()
-		s.branch(cst)
+		if s.observer != nil && cst == lp.StatusOptimal {
+			s.observer.Observe(col, v >= 0.5, z, s.lps.Objective())
+		}
+		s.branch(cst, depth+1)
+		s.path = s.path[:len(s.path)-1]
 		s.lps.SetBound(col, lo, hi)
 		if s.reason != reasonNone {
 			return
@@ -433,10 +483,7 @@ func (s *solver) acceptCandidate(xc []float64, nodeBound float64, inNode bool) b
 	if s.opt.ObjIntegral {
 		obj = math.Round(obj)
 	}
-	if obj < s.incObj-1e-9 {
-		s.incObj = obj
-		s.incX = append([]float64(nil), xc...)
-	}
+	s.sh.install(obj, xc)
 	return obj <= nodeBound+1e-6*(1+math.Abs(nodeBound))
 }
 
@@ -463,13 +510,19 @@ func (s *solver) mostFractional(x []float64) (int, bool) {
 	return best, oneFirst
 }
 
-// limitHit reports why the node loop must stop, polling the context
-// every 16 nodes so cancellation latency stays bounded.
-func (s *solver) limitHit() stopReason {
-	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+// limitHit reports why the node loop must stop. total is the global
+// node count including this node, so MaxNodes is enforced across all
+// workers of a parallel solve, not per goroutine; a stop requested by
+// any other worker is observed here too. The context is polled every
+// 16 locally-explored nodes so cancellation latency stays bounded.
+func (s *solver) limitHit(total int64) stopReason {
+	if r := s.sh.stopRequested(); r != reasonNone {
+		return r
+	}
+	if s.opt.MaxNodes > 0 && total > int64(s.opt.MaxNodes) {
 		return reasonNodes
 	}
-	if s.nodes%16 == 0 && s.ctx.Err() != nil {
+	if s.local%16 == 0 && s.ctx.Err() != nil {
 		if context.Cause(s.ctx) == context.Canceled {
 			return reasonCtx
 		}

@@ -1,0 +1,227 @@
+package milp
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lp"
+)
+
+// shared is the cross-worker state of a solve. The serial path uses it
+// too (with exactly one goroutine), so there is a single code path for
+// incumbent handling.
+//
+// The incumbent objective is mirrored in incBits as raw float64 bits
+// so the hot pruning test in branch() is a single atomic load with no
+// lock. The CAS-min loop keeps it monotonically decreasing; a reader
+// seeing a slightly stale (larger) value prunes less, never wrongly,
+// which is what makes the parallel objective provably identical to the
+// serial one: any subtree discarded against a bound that held at some
+// point in time also fails against the final, smaller incumbent.
+type shared struct {
+	nodes   atomic.Int64  // global explored-node counter (MaxNodes)
+	stop    atomic.Int32  // sticky stopReason; first writer wins
+	incBits atomic.Uint64 // math.Float64bits of the incumbent objective
+
+	mu     sync.Mutex // guards incObj/incX (the authoritative pair)
+	incObj float64
+	incX   []float64
+}
+
+func newShared(upper float64) *shared {
+	sh := &shared{incObj: upper}
+	sh.incBits.Store(math.Float64bits(upper))
+	return sh
+}
+
+// incumbent returns the current incumbent objective for pruning.
+func (sh *shared) incumbent() float64 {
+	return math.Float64frombits(sh.incBits.Load())
+}
+
+// install makes (obj, x) the incumbent if it improves on the current
+// one by more than the solver's comparison tolerance. x is copied.
+func (sh *shared) install(obj float64, x []float64) {
+	for {
+		old := sh.incBits.Load()
+		if obj >= math.Float64frombits(old)-1e-9 {
+			return
+		}
+		if sh.incBits.CompareAndSwap(old, math.Float64bits(obj)) {
+			break
+		}
+	}
+	sh.mu.Lock()
+	if obj < sh.incObj-1e-9 {
+		sh.incObj = obj
+		sh.incX = append([]float64(nil), x...)
+	}
+	sh.mu.Unlock()
+}
+
+// best returns the final incumbent pair (nil X when none was found).
+func (sh *shared) best() (float64, []float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.incObj, sh.incX
+}
+
+// requestStop records the first stop reason; later ones are ignored.
+func (sh *shared) requestStop(r stopReason) {
+	sh.stop.CompareAndSwap(int32(reasonNone), int32(r))
+}
+
+func (sh *shared) stopRequested() stopReason {
+	return stopReason(sh.stop.Load())
+}
+
+// fix is one branching-bound assignment on the path from the root.
+type fix struct {
+	col int
+	val float64
+}
+
+// subproblem is an unexplored subtree handed to a worker: the branching
+// prefix that defines it and its parent LP bound (already ceil-rounded
+// when the objective is integral), used for best-bound aggregation when
+// the search stops early.
+type subproblem struct {
+	fixes []fix
+	bound float64
+}
+
+// splitFactor subproblems per worker keeps the queue long enough that
+// an early-finishing worker always finds more work.
+const splitFactor = 4
+
+// solveParallel runs the parallel search: expand the tree serially
+// until enough independent subproblems exist, then let
+// Options.Parallelism workers — each owning a cloned LP solver — drain
+// them, pruning against the shared incumbent. Called with the root LP
+// already solved to optimality; res.BestBound holds the root bound and
+// is tightened here when the search is stopped early.
+func (s *solver) solveParallel(res *Result) {
+	workers := s.opt.Parallelism
+	target := workers * splitFactor
+	depth := 1
+	for 1<<depth < target && depth < 16 {
+		depth++
+	}
+	var subs []subproblem
+	s.splitDepth = depth
+	s.collect = &subs
+	s.branch(lp.StatusOptimal, 0)
+	s.collect = nil
+	if s.reason != reasonNone || len(subs) == 0 {
+		// a limit hit during the split, or the split alone finished the
+		// tree — either way the serial finalization applies as-is
+		return
+	}
+
+	var next atomic.Int64
+	completed := make([]atomic.Bool, len(subs))
+	ws := make([]*solver, workers)
+	for w := range ws {
+		ws[w] = &solver{
+			lps:      s.lps.Clone(),
+			prob:     s.prob,
+			opt:      s.opt,
+			ctx:      s.ctx,
+			isInt:    s.isInt,
+			sh:       s.sh,
+			brancher: forkBrancher(s.brancher),
+		}
+		ws[w].observer = observerOf(ws[w].brancher)
+	}
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *solver) {
+			defer wg.Done()
+			// re-anchor at the root-optimal basis before every
+			// subproblem: cheaper than a fresh Clone and it discards
+			// any numerical drift from the previous subtree
+			snap := w.lps.Snapshot()
+			for {
+				if s.sh.stopRequested() != reasonNone {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(subs) {
+					return
+				}
+				sp := subs[i]
+				w.lps.Restore(snap)
+				for _, f := range sp.fixes {
+					w.lps.SetBound(f.col, f.val, f.val)
+				}
+				cst := w.lps.ReOptimize()
+				w.branch(cst, len(sp.fixes))
+				if w.reason != reasonNone {
+					s.sh.requestStop(w.reason)
+					return
+				}
+				completed[i].Store(true)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, w := range ws {
+		s.lps.Iterations += w.lps.Iterations
+	}
+	if r := s.sh.stopRequested(); r != reasonNone {
+		s.reason = r
+		// best-bound aggregation: the proved lower bound is the minimum
+		// over the subproblems that were not fully explored (children
+		// bounds only tighten, so each open subtree is covered by its
+		// recorded root bound). The incumbent clamp happens in the
+		// caller's finalization.
+		open := math.Inf(1)
+		for i := range subs {
+			if !completed[i].Load() && subs[i].bound < open {
+				open = subs[i].bound
+			}
+		}
+		if !math.IsInf(open, 1) && open > res.BestBound {
+			res.BestBound = open
+		}
+	}
+}
+
+// Forker is implemented by stateful Branchers that can produce an
+// independent instance per parallel worker. Under
+// Options.Parallelism > 1 the solver forks the configured Brancher for
+// every worker through this interface; a stateful brancher (such as
+// *PseudoCost) that does not implement it would be shared across
+// goroutines and must not be used in a parallel solve. Stateless
+// branchers (BrancherFunc closures over immutable data, like
+// FirstFractional or PriorityBrancher) are safe to share and need not
+// implement Forker.
+type Forker interface {
+	Fork() Brancher
+}
+
+func forkBrancher(b Brancher) Brancher {
+	if f, ok := b.(Forker); ok {
+		return f.Fork()
+	}
+	return b
+}
+
+// BoundObserver is implemented by branchers that learn from LP bound
+// degradations (pseudo-cost branching). When the configured Brancher
+// implements it, the solver reports every branch it takes: col and up
+// identify the child, parent and child are the LP objectives before
+// and after the branching fix. Observations stay within one worker —
+// each forked brancher sees only its own subtree's bounds.
+type BoundObserver interface {
+	Observe(col int, up bool, parent, child float64)
+}
+
+func observerOf(b Brancher) BoundObserver {
+	if o, ok := b.(BoundObserver); ok {
+		return o
+	}
+	return nil
+}

@@ -6,9 +6,13 @@ import "math"
 // branching: it learns, per column, how much the LP bound degrades
 // when branching that column up or down, and picks the fractional
 // column with the best expected degradation product. Columns without
-// history fall back to most-fractional scoring.
+// history fall back to most-fractional scoring. The solver feeds it
+// observations through the BoundObserver interface after every branch.
 //
-// A PseudoCost value must not be shared between concurrent solves.
+// A PseudoCost value must not be shared between concurrent solves or
+// goroutines: it implements Forker, so under Options.Parallelism > 1
+// every worker branches with its own copy seeded from the statistics
+// learned up to the fork point.
 type PseudoCost struct {
 	watch []int
 	// learned sums and counts per column
@@ -64,11 +68,32 @@ func (pc *PseudoCost) estimate(sum float64, count int) float64 {
 	return sum / float64(count)
 }
 
-// Observe records the LP bound degradation of the child of the last
-// selected column. up reports whether the 1-branch was taken; parent
-// and child are the LP bounds before and after. Callers (the solver's
-// owner) may wire this through instrumentation; the brancher also
-// works without observations, degrading to most-fractional behavior.
+// Fork implements Forker: each parallel worker gets an independent
+// brancher primed with the statistics learned so far, so forked
+// workers start informed but never race on the maps.
+func (pc *PseudoCost) Fork() Brancher {
+	c := NewPseudoCost(pc.watch)
+	for k, v := range pc.upSum {
+		c.upSum[k] = v
+	}
+	for k, v := range pc.downSum {
+		c.downSum[k] = v
+	}
+	for k, v := range pc.upCount {
+		c.upCount[k] = v
+	}
+	for k, v := range pc.downCount {
+		c.downCount[k] = v
+	}
+	return c
+}
+
+// Observe implements BoundObserver: it records the LP bound
+// degradation of the child of the last selected column. up reports
+// whether the 1-branch was taken; parent and child are the LP bounds
+// before and after. The solver wires this up automatically; the
+// brancher also works without observations, degrading to
+// most-fractional behavior.
 func (pc *PseudoCost) Observe(col int, up bool, parent, child float64) {
 	gain := child - parent
 	if gain < 0 {

@@ -109,6 +109,11 @@ type SolveOptions struct {
 	// TimeLimitMS bounds the solve wall-clock time; 0 applies the
 	// service's default timeout.
 	TimeLimitMS int64 `json:"time_limit_ms,omitempty"`
+	// Parallelism sets the number of branch-and-bound workers for this
+	// solve; 0 applies the service's configured default. The result is
+	// identical to a serial solve (only the runtime changes), so the
+	// value does not participate in the instance cache key.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // instance is a compiled request: the validated core instance and
@@ -121,8 +126,9 @@ type instance struct {
 
 // compile parses and validates the request. The default timeout fills
 // an unset time limit, so every member of a singleflight group shares
-// one effective deadline (the limit is part of the cache key).
-func (r *Request) compile(defaultTimeout time.Duration) (*instance, error) {
+// one effective deadline (the limit is part of the cache key); the
+// default parallelism fills an unset worker count the same way.
+func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) (*instance, error) {
 	if strings.TrimSpace(r.Graph) == "" {
 		return nil, fmt.Errorf("service: empty graph")
 	}
@@ -154,12 +160,16 @@ func (r *Request) compile(defaultTimeout time.Duration) (*instance, error) {
 		PrimeHeuristic: r.Options.PrimeHeuristic,
 		MaxNodes:       r.Options.MaxNodes,
 		TimeLimit:      defaultTimeout,
+		Parallelism:    defaultParallelism,
 	}
 	if r.Options.Fortet {
 		opt.Linearization = core.LinFortet
 	}
 	if r.Options.TimeLimitMS > 0 {
 		opt.TimeLimit = time.Duration(r.Options.TimeLimitMS) * time.Millisecond
+	}
+	if r.Options.Parallelism > 0 {
+		opt.Parallelism = r.Options.Parallelism
 	}
 	ci := &instance{
 		inst: core.Instance{Graph: g, Alloc: alloc, Device: dev},
@@ -175,8 +185,12 @@ func (r *Request) compile(defaultTimeout time.Duration) (*instance, error) {
 // canonicalKey hashes the full instance identity — graph, exploration
 // set, device parameters (N, L, Ms, C, alpha) and solver options —
 // over canonical serializations, so textual variations of the same
-// request (whitespace, map order) collapse to one key.
+// request (whitespace, map order) collapse to one key. Parallelism is
+// deliberately excluded: a parallel solve returns the same result as a
+// serial one, so requests differing only in worker count deduplicate
+// and share cache entries.
 func canonicalKey(g *graph.Graph, alloc *library.Allocation, dev library.Device, opt core.Options) string {
+	opt.Parallelism = 0
 	h := sha256.New()
 	fmt.Fprintf(h, "graph:%s\n", g.String())
 	fmt.Fprintf(h, "alloc:%s\n", alloc.String())

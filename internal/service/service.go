@@ -64,6 +64,10 @@ type Config struct {
 	// GET /jobs/{id}; 0 means 4096. The oldest finished records are
 	// evicted first.
 	History int
+	// DefaultParallelism is the branch-and-bound worker count applied
+	// to requests that carry no parallelism of their own; 0 means 1
+	// (serial search). It does not affect the instance cache key.
+	DefaultParallelism int
 }
 
 func (c *Config) defaults() {
@@ -108,16 +112,16 @@ type job struct {
 	priority int
 	seq      uint64
 
-	status               JobStatus
-	submitted, started   time.Time
-	finished             time.Time
-	cacheHit             bool
-	result               *core.Result
-	err                  error
-	cancelCh             chan struct{}
-	cancelOnce           sync.Once
-	done                 chan struct{}
-	index                int // heap index; -1 when not queued
+	status             JobStatus
+	submitted, started time.Time
+	finished           time.Time
+	cacheHit           bool
+	result             *core.Result
+	err                error
+	cancelCh           chan struct{}
+	cancelOnce         sync.Once
+	done               chan struct{}
+	index              int // heap index; -1 when not queued
 }
 
 // flight is one in-progress solve shared by every job with the same
@@ -136,12 +140,12 @@ type flight struct {
 type Service struct {
 	cfg Config
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   jobQueue
-	jobs    map[string]*job
-	flights map[string]*flight
-	cache   *lruCache
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     jobQueue
+	jobs      map[string]*job
+	flights   map[string]*flight
+	cache     *lruCache
 	seq       uint64
 	running   int
 	closed    bool
@@ -173,7 +177,7 @@ func (s *Service) Workers() int { return s.cfg.Workers }
 
 // Submit validates and enqueues a request, returning the job ID.
 func (s *Service) Submit(req *Request) (string, error) {
-	ci, err := req.compile(s.cfg.DefaultTimeout)
+	ci, err := req.compile(s.cfg.DefaultTimeout, s.cfg.DefaultParallelism)
 	if err != nil {
 		return "", err
 	}

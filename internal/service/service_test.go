@@ -325,8 +325,8 @@ func TestRequestValidation(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close(context.Background())
 	cases := []*Request{
-		{},                             // empty graph
-		{Graph: "graph g\ntask"},       // malformed text
+		{},                       // empty graph
+		{Graph: "graph g\ntask"}, // malformed text
 		{Graph: benchmarks.Diffeq().String(), Device: DeviceSpec{Name: "xc9999"}},
 		{Graph: benchmarks.Diffeq().String(), Allocation: map[string]int{"frob32": 1}},
 	}
@@ -338,11 +338,11 @@ func TestRequestValidation(t *testing.T) {
 }
 
 func TestCanonicalKeyIdentity(t *testing.T) {
-	a, err := fastRequest().compile(time.Minute)
+	a, err := fastRequest().compile(time.Minute, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := fastRequest().compile(time.Minute)
+	b, err := fastRequest().compile(time.Minute, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +352,7 @@ func TestCanonicalKeyIdentity(t *testing.T) {
 	// a different latency bound is a different instance
 	c := fastRequest()
 	c.Options.L = 3
-	ci, err := c.compile(time.Minute)
+	ci, err := c.compile(time.Minute, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +362,7 @@ func TestCanonicalKeyIdentity(t *testing.T) {
 	// a renamed but otherwise identical graph is a different instance
 	d := fastRequest()
 	d.Graph = strings.Replace(d.Graph, "graph diffeq", "graph other", 1)
-	di, err := d.compile(time.Minute)
+	di, err := d.compile(time.Minute, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,12 +370,38 @@ func TestCanonicalKeyIdentity(t *testing.T) {
 		t.Fatal("renamed graph collides")
 	}
 	// the effective time limit is part of the identity
-	e, err := fastRequest().compile(2 * time.Minute)
+	e, err := fastRequest().compile(2*time.Minute, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e.key == a.key {
 		t.Fatal("different default timeouts collide")
+	}
+	// parallelism is NOT part of the identity: a parallel solve returns
+	// the same result, so requests differing only in worker count must
+	// share cache entries and singleflight groups.
+	f := fastRequest()
+	f.Options.Parallelism = 4
+	fi, err := f.compile(time.Minute, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.key != a.key {
+		t.Fatal("parallelism changed the cache key")
+	}
+	if fi.opt.Parallelism != 4 {
+		t.Fatalf("parallelism = %d, want 4", fi.opt.Parallelism)
+	}
+	// the service default fills an unset request value
+	g, err := fastRequest().compile(time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.opt.Parallelism != 3 {
+		t.Fatalf("default parallelism = %d, want 3", g.opt.Parallelism)
+	}
+	if g.key != a.key {
+		t.Fatal("default parallelism changed the cache key")
 	}
 }
 
