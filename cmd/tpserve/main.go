@@ -3,18 +3,24 @@
 // cooperative cancellation, request deduplication and an LRU over
 // completed results.
 //
-// Endpoints:
+// Endpoints (see service.NewHandler; the pre-versioning paths remain
+// mounted as deprecated aliases):
 //
-//	POST   /solve      synchronous solve (client disconnect cancels)
-//	POST   /jobs       asynchronous submit
-//	GET    /jobs/{id}  job status and result
-//	DELETE /jobs/{id}  cancel a queued or running job
-//	GET    /metrics    service metrics snapshot
-//	GET    /healthz    liveness
+//	POST   /v1/solve            synchronous solve (client disconnect cancels)
+//	POST   /v1/jobs             asynchronous submit
+//	GET    /v1/jobs/{id}        job status and result
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events live solver progress (Server-Sent Events)
+//	GET    /v1/metrics          Prometheus text metrics
+//	GET    /v1/stats            service metrics snapshot (JSON)
+//	GET    /v1/healthz          liveness
+//
+// With -pprof, the standard net/http/pprof profiling handlers are
+// mounted under /debug/pprof/ on the same listener.
 //
 // Usage:
 //
-//	tpserve -addr :8080 -workers 4 -timeout 60s
+//	tpserve -addr :8080 -workers 4 -timeout 60s -pprof
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +47,7 @@ func main() {
 		cache    = flag.Int("cache", 0, "result-cache entries (0 = default, -1 disables)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "default per-solve time limit")
 		parallel = flag.Int("parallel", 0, "branch-and-bound workers per solve (0 = serial)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -51,9 +59,22 @@ func main() {
 		DefaultParallelism: *parallel,
 	})
 
+	handler := service.NewHandler(svc)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("tpserve: pprof enabled at /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

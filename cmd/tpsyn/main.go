@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/library"
 	"repro/internal/rpsim"
 	"repro/internal/rtl"
+	"repro/internal/trace"
 	"repro/internal/viz"
 )
 
@@ -35,15 +38,16 @@ func main() {
 		muls     = flag.Int("muls", 2, "multipliers in the exploration set")
 		subs     = flag.Int("subs", 1, "subtracters in the exploration set")
 		device   = flag.String("device", "xc4010", "target device: xc4010 or xc4025")
-		cap      = flag.Int("capacity", 0, "override device FG capacity")
+		capacity = flag.Int("capacity", 0, "override device FG capacity")
 		mem      = flag.Int("mem", -1, "override scratch memory size")
 		alpha    = flag.Float64("alpha", 0, "override logic-optimization factor")
 		lin      = flag.String("lin", "glover", "linearization: glover or fortet")
 		branch   = flag.String("branch", "paper", "branching: paper, first or most")
 		loose    = flag.Bool("untightened", false, "drop the tightening cuts (28)-(30),(32)")
 		perProd  = flag.Bool("wperproduct", false, "exact per-product w linearization (eqs. 4-5)")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "solver time limit")
+		timeout  = flag.Duration("timeout", 60*time.Second, "solver time limit (matches the tpserve default)")
 		parallel = flag.Int("parallel", 0, "branch-and-bound workers (0 or 1 = serial)")
+		traceOut = flag.String("trace", "", "stream solver events as NDJSON to this file (- for stderr)")
 		vhdl     = flag.Bool("vhdl", false, "emit per-segment RTL netlists")
 		sim      = flag.Bool("sim", false, "simulate the solution on the device model")
 		vcd      = flag.String("vcd", "", "write a VCD waveform of the simulated execution to this file")
@@ -67,8 +71,8 @@ func main() {
 	} else if *device != "xc4010" {
 		fail(fmt.Errorf("unknown device %q", *device))
 	}
-	if *cap > 0 {
-		dev.CapacityFG = *cap
+	if *capacity > 0 {
+		dev.CapacityFG = *capacity
 	}
 	if *mem >= 0 {
 		dev.ScratchMem = *mem
@@ -85,23 +89,19 @@ func main() {
 		TimeLimit:   *timeout,
 		Parallelism: *parallel,
 	}
-	switch *lin {
-	case "glover":
-		opt.Linearization = core.LinGlover
-	case "fortet":
-		opt.Linearization = core.LinFortet
-	default:
-		fail(fmt.Errorf("unknown linearization %q", *lin))
-	}
-	switch *branch {
-	case "paper":
-		opt.Branch = core.BranchPaper
-	case "first":
-		opt.Branch = core.BranchFirstFrac
-	case "most":
-		opt.Branch = core.BranchMostFrac
-	default:
-		fail(fmt.Errorf("unknown branching rule %q", *branch))
+	opt.Linearization, err = core.ParseLinearization(*lin)
+	fail(err)
+	opt.Branch, err = core.ParseBranchRule(*branch)
+	fail(err)
+	if *traceOut != "" {
+		var w io.Writer = os.Stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			fail(err)
+			defer f.Close()
+			w = f
+		}
+		opt.Trace = trace.New(trace.NewWriterSink(w))
 	}
 
 	inst := core.Instance{Graph: g, Alloc: alloc, Device: dev}
@@ -126,7 +126,7 @@ func main() {
 		fmt.Printf("lp: model written to %s\n", *lpOut)
 	}
 
-	res, err := m.Solve()
+	res, err := m.SolveContext(context.Background())
 	fail(err)
 	fmt.Printf("solve: %d nodes, %d LP pivots, %v\n", res.Nodes, res.LPIterations, res.Runtime.Round(time.Millisecond))
 	if !res.Feasible {

@@ -6,6 +6,7 @@
 //	tptables                          # every table
 //	tptables -table 3                 # just Table 3
 //	tptables -timeout 30s             # tighter per-row budget
+//	tptables -trace rows.ndjson       # stream solver events per row
 //	tptables -benchmilp BENCH_milp.json  # serial-vs-parallel B&B suite
 package main
 
@@ -13,11 +14,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -26,6 +29,7 @@ func main() {
 		timeout   = flag.Duration("timeout", experiments.DefaultTimeLimit, "per-row time limit")
 		benchmilp = flag.String("benchmilp", "", "run the serial-vs-parallel branch-and-bound suite and write its JSON report to this file")
 		parallel  = flag.Int("parallel", 0, "worker count for -benchmilp (0 = GOMAXPROCS, min 2)")
+		traceOut  = flag.String("trace", "", "stream solver events of every row as NDJSON to this file (- for stderr)")
 	)
 	flag.Parse()
 
@@ -35,6 +39,21 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		var w io.Writer = os.Stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tptables:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		tr = trace.New(trace.NewWriterSink(w))
 	}
 
 	names := []string{*table}
@@ -54,6 +73,7 @@ func main() {
 		rows := gen()
 		for i := range rows {
 			rows[i].TimeLimit = *timeout
+			rows[i].Opt.Trace = tr
 		}
 		fmt.Printf("== table %s (device %s, per-row limit %v)\n", name, experiments.Device().Name, *timeout)
 		if _, err := experiments.RunAll(rows, os.Stdout); err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -59,7 +60,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if res, err = m.Solve(); err != nil {
+			if res, err = m.SolveContext(context.Background()); err != nil {
 				log.Fatal(err)
 			}
 			if res.Feasible {

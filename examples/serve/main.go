@@ -58,11 +58,11 @@ func main() {
 
 	// 3. Submit asynchronously and poll until done.
 	var job service.JobInfo
-	post(ts.URL+"/jobs", body, &job)
+	post(ts.URL+"/v1/jobs", body, &job)
 	fmt.Printf("submitted job %s (status %s)\n", job.ID, job.Status)
 	for !job.Status.Finished() {
 		time.Sleep(50 * time.Millisecond)
-		get(ts.URL+"/jobs/"+job.ID, &job)
+		get(ts.URL+"/v1/jobs/"+job.ID, &job)
 	}
 	if job.Status != service.StatusDone {
 		log.Fatalf("job %s ended %s: %s", job.ID, job.Status, job.Error)
@@ -77,13 +77,14 @@ func main() {
 	// 4. The identical request again — served from the result cache, no
 	// new branch-and-bound.
 	var again service.JobInfo
-	post(ts.URL+"/solve", body, &again)
+	post(ts.URL+"/v1/solve", body, &again)
 	fmt.Printf("same request again: cache_hit=%v, comm=%d\n\n",
 		again.CacheHit, again.Result.Comm)
 
-	// 5. Service metrics.
+	// 5. Service metrics (the JSON snapshot; /v1/metrics serves the
+	// same numbers in the Prometheus text format).
 	var stats service.Stats
-	get(ts.URL+"/metrics", &stats)
+	get(ts.URL+"/v1/stats", &stats)
 	fmt.Printf("metrics: %d submitted, %d completed, %d cache hits / %d misses\n",
 		stats.Submitted, stats.Completed, stats.CacheHits, stats.CacheMisses)
 	fmt.Printf("         %d B&B nodes, %d LP pivots total\n",
@@ -109,9 +110,15 @@ func get(url string, out any) {
 func decode(resp *http.Response, out any) {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var e map[string]string
+		var e struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("%s %s: %s", resp.Request.Method, resp.Request.URL.Path, e["error"])
+		log.Fatalf("%s %s: %s: %s", resp.Request.Method, resp.Request.URL.Path,
+			e.Error.Code, e.Error.Message)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		log.Fatal(err)

@@ -10,16 +10,18 @@ import (
 	"repro/internal/rtl"
 )
 
-// FlowOptions configure the one-call end-to-end flow.
+// FlowOptions configure the one-call end-to-end flow. The embedded
+// canonical Options carry the solver knobs (L, Linearization, Branch,
+// TimeLimit, Parallelism, Trace, ...); N is overridden by the flow's
+// own widening loop, and Tightened plus ExactSweep are forced on for
+// every attempt. TimeLimit bounds each attempt (default 60 s).
 type FlowOptions struct {
-	// L is the latency relaxation (see Options.L).
-	L int
+	Options
+
 	// ExtraN bounds how many times the flow widens N beyond the
 	// list-scheduling estimate when the estimate proves infeasible.
 	// Default 2.
 	ExtraN int
-	// TimeLimit bounds each solve attempt (default 60 s).
-	TimeLimit time.Duration
 	// Inputs optionally provides source-operation values for the
 	// simulation; missing sources default to 1.
 	Inputs map[int]int64
@@ -65,12 +67,12 @@ func FlowContext(ctx context.Context, inst Instance, opt FlowOptions) (*FlowResu
 	var res *Result
 	n := est
 	for ; n <= est+opt.ExtraN; n++ {
-		res, err = core.SolveInstanceContext(ctx, inst, Options{
-			N: n, L: opt.L,
-			Tightened:  true,
-			ExactSweep: true,
-			TimeLimit:  opt.TimeLimit,
-		})
+		o := opt.Options
+		o.N = n
+		o.Tightened = true
+		o.ExactSweep = true
+		o.TimeLimit = opt.TimeLimit
+		res, err = core.SolveInstanceContext(ctx, inst, o)
 		if err != nil {
 			return nil, err
 		}

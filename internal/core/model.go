@@ -77,6 +77,9 @@ func Build(inst Instance, opt Options) (*Model, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if opt.N == 0 {
 		plan, err := sched.EstimateSegments(inst.Graph, inst.Alloc, inst.Device)
 		if err != nil {
@@ -86,9 +89,6 @@ func Build(inst Instance, opt Options) (*Model, error) {
 	}
 	if opt.N < 1 {
 		return nil, fmt.Errorf("core: N = %d", opt.N)
-	}
-	if opt.L < 0 {
-		return nil, fmt.Errorf("core: negative latency relaxation %d", opt.L)
 	}
 	dur := sched.UnitDuration
 	if opt.Multicycle {
@@ -118,6 +118,7 @@ func Build(inst Instance, opt Options) (*Model, error) {
 		return nil, err
 	}
 	m.stats = m.P.Stats()
+	m.emitModelEvent()
 	return m, nil
 }
 

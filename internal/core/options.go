@@ -18,11 +18,14 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/library"
+	"repro/internal/trace"
 )
 
 // Linearization selects how 0-1 products are linearized.
@@ -43,6 +46,42 @@ func (l Linearization) String() string {
 		return "fortet"
 	}
 	return "glover"
+}
+
+// ParseLinearization parses a linearization name; "" means the default
+// Glover/Woolsey method.
+func ParseLinearization(s string) (Linearization, error) {
+	switch s {
+	case "", "glover":
+		return LinGlover, nil
+	case "fortet":
+		return LinFortet, nil
+	}
+	return 0, fmt.Errorf("core: unknown linearization %q (want glover or fortet)", s)
+}
+
+// MarshalJSON encodes the linearization by name.
+func (l Linearization) MarshalJSON() ([]byte, error) {
+	return json.Marshal(l.String())
+}
+
+// UnmarshalJSON accepts a name ("glover", "fortet") or the numeric
+// enum value.
+func (l *Linearization) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		if n, nerr := strconv.Atoi(string(b)); nerr == nil && n >= 0 && n <= int(LinFortet) {
+			*l = Linearization(n)
+			return nil
+		}
+		return fmt.Errorf("core: invalid linearization %s", b)
+	}
+	v, err := ParseLinearization(s)
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
 }
 
 // CutSet is a bitmask of the tightening-cut families of Section 6.
@@ -92,64 +131,142 @@ func (b BranchRule) String() string {
 	}
 }
 
-// Options configure model generation and solving.
+// ParseBranchRule parses a branching-rule name; "" means the paper's
+// heuristic.
+func ParseBranchRule(s string) (BranchRule, error) {
+	switch s {
+	case "", "paper":
+		return BranchPaper, nil
+	case "first", "first-fractional":
+		return BranchFirstFrac, nil
+	case "most", "most-fractional":
+		return BranchMostFrac, nil
+	}
+	return 0, fmt.Errorf("core: unknown branch rule %q (want paper, first-fractional or most-fractional)", s)
+}
+
+// MarshalJSON encodes the branch rule by name.
+func (b BranchRule) MarshalJSON() ([]byte, error) {
+	return json.Marshal(b.String())
+}
+
+// UnmarshalJSON accepts a name or the numeric enum value.
+func (b *BranchRule) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		if n, nerr := strconv.Atoi(string(data)); nerr == nil && n >= 0 && n <= int(BranchMostFrac) {
+			*b = BranchRule(n)
+			return nil
+		}
+		return fmt.Errorf("core: invalid branch rule %s", data)
+	}
+	v, err := ParseBranchRule(s)
+	if err != nil {
+		return err
+	}
+	*b = v
+	return nil
+}
+
+// Options configure model generation and solving. It is the one
+// canonical option set of the stack: the JSON tags define the wire
+// form used by the solve service and the flow front-end, which embed
+// this struct rather than re-declaring the knobs.
 type Options struct {
 	// N is the number of temporal partitions made available (the upper
 	// bound of the formulation). 0 estimates N with the list-scheduling
 	// heuristic of internal/sched.
-	N int
+	N int `json:"n,omitempty"`
 	// L is the user-specified latency relaxation over the maximum ALAP.
-	L int
+	L int `json:"l,omitempty"`
 	// Linearization selects Fortet or Glover product linearization.
-	Linearization Linearization
+	Linearization Linearization `json:"linearization,omitempty"`
 	// Tightened adds the paper's cuts (28), (29), (30) and (32).
-	Tightened bool
+	Tightened bool `json:"tightened,omitempty"`
 	// Cuts selects individual tightening families when Tightened is
 	// set; the zero value enables all of them. Used by the ablation
 	// benchmarks.
-	Cuts CutSet
+	Cuts CutSet `json:"cuts,omitempty"`
 	// WPerProduct linearizes the w variables exactly per product term
 	// (eqs. 4-5) instead of with the compact eq. (31). The paper's
 	// preliminary model (Table 1) uses per-product w; the final model
 	// uses the compact form.
-	WPerProduct bool
+	WPerProduct bool `json:"w_per_product,omitempty"`
 	// Multicycle honors FU latencies greater than one control step
 	// (the paper's Gebotys/OSCAR-style extension).
-	Multicycle bool
+	Multicycle bool `json:"multicycle,omitempty"`
 	// Branch selects the branching rule.
-	Branch BranchRule
+	Branch BranchRule `json:"branch,omitempty"`
 	// ExactSweep enumerates task assignments (cost-ordered, pruned)
 	// and certifies each with the exact scheduler before branch and
 	// bound; when every candidate resolves, optimality is proved
 	// without any LP search. Requires at most 12 tasks; implies the
 	// heuristic incumbent. Left off by the paper-faithful rows.
-	ExactSweep bool
+	ExactSweep bool `json:"exact_sweep,omitempty"`
 	// Presolve runs the LP presolver (row reduction + bound
 	// tightening) on the generated model before branch and bound. Off
 	// by default so the reported Var/Const counts match the generated
 	// formulation, as in the paper's tables.
-	Presolve bool
+	Presolve bool `json:"presolve,omitempty"`
 	// DisableProbe turns off the exact-scheduling node probe, leaving
 	// the pure LP-driven branch and bound of the paper. Useful for
 	// runtime comparisons; expect far larger node counts.
-	DisableProbe bool
+	DisableProbe bool `json:"disable_probe,omitempty"`
 	// PrimeHeuristic seeds branch and bound with the communication
 	// cost of the best list-scheduled solution (internal/heuristic),
 	// pruning subtrees that cannot beat it. An extension beyond the
 	// paper; off by default so runtimes stay comparable to the
 	// paper's algorithm.
-	PrimeHeuristic bool
+	PrimeHeuristic bool `json:"prime_heuristic,omitempty"`
 	// MaxNodes limits branch-and-bound nodes (0 = unlimited).
-	MaxNodes int
-	// TimeLimit bounds the solve wall-clock time (0 = unlimited).
-	TimeLimit time.Duration
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// TimeLimit bounds the solve wall-clock time (0 = unlimited). Not
+	// part of the wire form: the service expresses it as
+	// time_limit_ms so JSON clients never deal in nanoseconds.
+	TimeLimit time.Duration `json:"-"`
 	// Parallelism sets the number of branch-and-bound workers for the
 	// MILP search (milp.Options.Parallelism). 0 or 1 keeps the serial,
 	// deterministic search; higher values split the tree across that
 	// many goroutines over cloned LP solvers with a shared incumbent.
 	// The optimum and its feasibility are identical either way — only
 	// node/pivot counts and runtime change.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
+	// Trace receives structured solve events (model shape, root bound,
+	// sampled node progress, incumbents, terminal status) when set.
+	// Nil disables tracing at zero cost. Never serialized, and ignored
+	// by the service's canonical cache key.
+	Trace *trace.Tracer `json:"-"`
+}
+
+// Validate checks the options for values no layer accepts: negative
+// sizes and limits, and enum values outside their range. It does not
+// enforce instance-dependent conditions (those surface in Build).
+func (o Options) Validate() error {
+	if o.N < 0 {
+		return fmt.Errorf("core: negative partition count N = %d", o.N)
+	}
+	if o.L < 0 {
+		return fmt.Errorf("core: negative latency relaxation L = %d", o.L)
+	}
+	if o.Linearization < LinGlover || o.Linearization > LinFortet {
+		return fmt.Errorf("core: unknown linearization %d", o.Linearization)
+	}
+	if o.Branch < BranchPaper || o.Branch > BranchMostFrac {
+		return fmt.Errorf("core: unknown branch rule %d", o.Branch)
+	}
+	if o.Cuts > CutsAll {
+		return fmt.Errorf("core: unknown cut families in mask %#x", o.Cuts)
+	}
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("core: negative node limit %d", o.MaxNodes)
+	}
+	if o.TimeLimit < 0 {
+		return fmt.Errorf("core: negative time limit %v", o.TimeLimit)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: negative parallelism %d", o.Parallelism)
+	}
+	return nil
 }
 
 // Instance is a complete problem instance: the behavioral

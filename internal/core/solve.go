@@ -43,16 +43,29 @@ type Result struct {
 
 // Solve runs branch and bound on the generated model with the
 // configured branching rule, then extracts and verifies the solution.
+//
+// Deprecated: use SolveContext, which supports cancellation and is the
+// single solve entry point; Solve remains as a convenience delegate
+// with a background context.
 func (m *Model) Solve() (*Result, error) {
 	return m.SolveContext(context.Background())
 }
 
-// SolveContext is Solve under a context: cancellation cooperatively
-// stops the exact sweep, the node probes and the branch-and-bound
-// pivot loops, returning a Result with Cancelled set (and the best
-// incumbent found so far, when one exists) rather than running to
-// completion.
+// SolveContext runs the solve under a context: cancellation
+// cooperatively stops the exact sweep, the node probes and the
+// branch-and-bound pivot loops, returning a Result with Cancelled set
+// (and the best incumbent found so far, when one exists) rather than
+// running to completion. A terminal result event is emitted on
+// Options.Trace when tracing is on.
 func (m *Model) SolveContext(ctx context.Context) (*Result, error) {
+	res, err := m.solveContext(ctx)
+	if err == nil && res != nil {
+		m.emitResult(res)
+	}
+	return res, err
+}
+
+func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -90,6 +103,7 @@ func (m *Model) SolveContext(ctx context.Context) (*Result, error) {
 		TimeLimit:   m.Opt.TimeLimit,
 		Complete:    m.complete,
 		Parallelism: m.Opt.Parallelism,
+		Trace:       m.Opt.Trace,
 	}
 	if !m.Opt.DisableProbe {
 		mopt.Probe = m.probe

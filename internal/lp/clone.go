@@ -9,8 +9,8 @@ import "fmt"
 // bound workers in internal/milp build on: clone once per worker, then
 // branch with SetBound/ReOptimize as usual.
 //
-// The clone starts with Iterations = 0 so callers can attribute pivots
-// per worker; MaxIter, Deadline and Ctx carry over.
+// The clone starts with Iterations = 0 and zeroed Counters so callers
+// can attribute work per worker; MaxIter, Deadline and Ctx carry over.
 func (s *Solver) Clone() *Solver {
 	return &Solver{
 		n: s.n, m: s.m, ntot: s.ntot,

@@ -70,6 +70,9 @@ func (p *Problem) VarName(j int) string { return p.names[j] }
 // RowName returns the name of row i.
 func (p *Problem) RowName(i int) string { return p.rowNames[i] }
 
+// RowNNZ returns the number of nonzero coefficients in row i.
+func (p *Problem) RowNNZ(i int) int { return len(p.rows[i].idx) }
+
 // Bounds returns the bounds of variable j.
 func (p *Problem) Bounds(j int) (lo, hi float64) { return p.lo[j], p.hi[j] }
 

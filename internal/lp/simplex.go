@@ -112,6 +112,7 @@ func (s *Solver) pricePrimal() int {
 	}
 	s.pCand = keep
 	if best >= 0 {
+		s.Counters.CandidateHits++
 		return best
 	}
 	window := s.ntot / 8
@@ -119,6 +120,7 @@ func (s *Solver) pricePrimal() int {
 		window = minWindow
 	}
 	for scanned := 0; scanned < s.ntot; {
+		s.Counters.WindowScans++
 		for k := 0; k < window && scanned < s.ntot; k++ {
 			j := s.pCur
 			if s.pCur++; s.pCur == s.ntot {
@@ -221,9 +223,11 @@ func (s *Solver) dualSimplex() Status {
 		}
 		q := s.ratioDual(r, below)
 		if q < 0 {
+			s.Counters.FarkasChecks++
 			if s.farkasCertified(r) {
 				return StatusInfeasible
 			}
+			s.Counters.FarkasRejected++
 			return statusSuspect
 		}
 		b := s.basis[r]
@@ -280,6 +284,7 @@ func (s *Solver) priceDual() (int, bool) {
 	}
 	s.dCand = keep
 	if best >= 0 {
+		s.Counters.CandidateHits++
 		return best, below
 	}
 	window := s.m / 8
@@ -287,6 +292,7 @@ func (s *Solver) priceDual() (int, bool) {
 		window = minWindow
 	}
 	for scanned := 0; scanned < s.m; {
+		s.Counters.WindowScans++
 		for k := 0; k < window && scanned < s.m; k++ {
 			i := s.dCur
 			if s.dCur++; s.dCur == s.m {

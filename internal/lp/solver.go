@@ -44,6 +44,36 @@ func (s Status) String() string {
 	}
 }
 
+// Counters are cheap instrumentation counters maintained by the pivot
+// and pricing loops: plain integer increments on an already-owned
+// struct, so keeping them always on costs nothing measurable and the
+// trace layer can report them without touching the hot paths.
+type Counters struct {
+	// Refactorizations counts rebuilds of the tableau from the original
+	// row data (initial factorization, Solve resets, and the
+	// certification-failure retries of optimize).
+	Refactorizations int64
+	// FarkasChecks counts infeasibility verdicts submitted to Farkas
+	// certification; FarkasRejected counts the ones that failed it and
+	// forced a refactorized retry.
+	FarkasChecks   int64
+	FarkasRejected int64
+	// WindowScans counts pricing windows scanned while rebuilding the
+	// candidate list; CandidateHits counts pivots priced directly from
+	// the cached candidate list without any window scan.
+	WindowScans   int64
+	CandidateHits int64
+}
+
+// Add accumulates o into c (used to aggregate per-worker solvers).
+func (c *Counters) Add(o Counters) {
+	c.Refactorizations += o.Refactorizations
+	c.FarkasChecks += o.FarkasChecks
+	c.FarkasRejected += o.FarkasRejected
+	c.WindowScans += o.WindowScans
+	c.CandidateHits += o.CandidateHits
+}
+
 type varStatus int8
 
 const (
@@ -102,6 +132,11 @@ type Solver struct {
 	// Iterations counts simplex pivots (including bound flips) over
 	// the lifetime of the solver.
 	Iterations int
+	// Counters accumulates the engine's instrumentation counters over
+	// the lifetime of the solver; see the Counters type. Like
+	// Iterations, a Clone starts from zero so callers can attribute
+	// work per worker.
+	Counters Counters
 	// MaxIter bounds pivots per Solve/ReOptimize call; 0 means the
 	// default of max(20000, 200*(m+n)).
 	MaxIter int
@@ -160,6 +195,7 @@ func NewSolver(p *Problem) (*Solver, error) {
 // reset restores the all-logical basis with nonbasic structural
 // variables at cost-favourable bounds.
 func (s *Solver) reset() {
+	s.Counters.Refactorizations++
 	for i := range s.tab {
 		s.tab[i] = 0
 	}

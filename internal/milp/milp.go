@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/trace"
 )
 
 // Status is the outcome of a MILP solve.
@@ -142,6 +143,12 @@ type Options struct {
 	// Branchers must implement Forker to get a per-worker instance;
 	// Probe and Complete hooks must be concurrency-safe.
 	Parallelism int
+	// Trace receives structured search events: the root bound, sampled
+	// node progress (every Trace.SampleEvery() nodes), incumbent
+	// installs, best-bound moves, worker subproblem pickups and the
+	// terminal status with LP engine counters. Nil disables tracing at
+	// zero cost — the hot node loop gates on a single pointer compare.
+	Trace *trace.Tracer
 }
 
 // Result reports a solve.
@@ -188,6 +195,7 @@ type solver struct {
 	observer BoundObserver
 	local    int // nodes explored by this worker (drives ctx-poll cadence)
 	reason   stopReason
+	worker   int // 0 for the serial search, 1-based for parallel workers
 
 	// root-split collection mode (see solveParallel): when collect is
 	// non-nil, branch() records nodes at depth >= splitDepth as
@@ -243,7 +251,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 	if opt.InitialUpper != 0 && !math.IsInf(opt.InitialUpper, 1) {
 		upper = opt.InitialUpper
 	}
-	s.sh = newShared(upper)
+	s.sh = newShared(upper, opt.Trace)
 	s.brancher = opt.Brancher
 	s.observer = observerOf(opt.Brancher)
 	lps.Ctx = ctx // bound individual LP solves too
@@ -280,6 +288,11 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		return res, nil
 	}
 	res.BestBound = lps.Objective()
+	s.sh.raiseBound(res.BestBound)
+	if s.sh.tr != nil {
+		s.sh.tr.Emit(trace.Event{Kind: trace.KindRoot, Bound: res.BestBound,
+			Pivots: int64(lps.Iterations)})
+	}
 	if opt.Parallelism > 1 {
 		s.solveParallel(res)
 	} else {
@@ -313,6 +326,27 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 			res.BestBound = incObj
 		}
 	}
+	if s.sh.tr != nil {
+		s.sh.raiseBound(res.BestBound)
+		e := trace.Event{
+			Kind:             trace.KindStatus,
+			Status:           res.Status.String(),
+			Nodes:            int64(res.Nodes),
+			Pivots:           int64(res.LPIterations),
+			Refactorizations: lps.Counters.Refactorizations,
+			FarkasChecks:     lps.Counters.FarkasChecks,
+			FarkasRejected:   lps.Counters.FarkasRejected,
+			WindowScans:      lps.Counters.WindowScans,
+			CandidateHits:    lps.Counters.CandidateHits,
+			Bound:            s.sh.displayBound(),
+		}
+		if res.X != nil {
+			e.HasIncumbent = true
+			e.Incumbent = res.Objective
+			e.Gap = gapOf(res.Objective, e.Bound)
+		}
+		s.sh.tr.Emit(e)
+	}
 	return res, nil
 }
 
@@ -336,6 +370,9 @@ func (s *solver) branch(st lp.Status, depth int) {
 	if r := s.limitHit(total); r != reasonNone {
 		s.reason = r
 		return
+	}
+	if s.sh.tr != nil && total%s.sh.sample == 0 {
+		s.sh.emitProgress(trace.KindNode, s.worker, 0)
 	}
 	if st == lp.StatusInfeasible {
 		return
@@ -411,7 +448,7 @@ func (s *solver) branch(st lp.Status, depth int) {
 			if s.opt.ObjIntegral {
 				obj = math.Round(obj)
 			}
-			s.sh.install(obj, x)
+			s.sh.install(obj, x, s.worker)
 			return
 		}
 	}
@@ -483,7 +520,7 @@ func (s *solver) acceptCandidate(xc []float64, nodeBound float64, inNode bool) b
 	if s.opt.ObjIntegral {
 		obj = math.Round(obj)
 	}
-	s.sh.install(obj, xc)
+	s.sh.install(obj, xc, s.worker)
 	return obj <= nodeBound+1e-6*(1+math.Abs(nodeBound))
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lp"
+	"repro/internal/trace"
 )
 
 // shared is the cross-worker state of a solve. The serial path uses it
@@ -24,14 +25,25 @@ type shared struct {
 	stop    atomic.Int32  // sticky stopReason; first writer wins
 	incBits atomic.Uint64 // math.Float64bits of the incumbent objective
 
+	// Tracing state. tr is nil when tracing is off; sample is always a
+	// positive interval so the node-loop modulo never divides by zero.
+	// dispBits is the monotone display bound: a CAS-max ratchet over
+	// math.Float64bits, seeded with -Inf, raised by the root bound and
+	// by the parallel best-bound aggregation, so streamed bound events
+	// never regress even though per-subtree LP bounds move both ways.
+	tr       *trace.Tracer
+	sample   int64
+	dispBits atomic.Uint64
+
 	mu     sync.Mutex // guards incObj/incX (the authoritative pair)
 	incObj float64
 	incX   []float64
 }
 
-func newShared(upper float64) *shared {
-	sh := &shared{incObj: upper}
+func newShared(upper float64, tr *trace.Tracer) *shared {
+	sh := &shared{incObj: upper, tr: tr, sample: tr.SampleEvery()}
 	sh.incBits.Store(math.Float64bits(upper))
+	sh.dispBits.Store(math.Float64bits(math.Inf(-1)))
 	return sh
 }
 
@@ -42,7 +54,8 @@ func (sh *shared) incumbent() float64 {
 
 // install makes (obj, x) the incumbent if it improves on the current
 // one by more than the solver's comparison tolerance. x is copied.
-func (sh *shared) install(obj float64, x []float64) {
+// worker attributes the resulting incumbent trace event.
+func (sh *shared) install(obj float64, x []float64, worker int) {
 	for {
 		old := sh.incBits.Load()
 		if obj >= math.Float64frombits(old)-1e-9 {
@@ -53,11 +66,16 @@ func (sh *shared) install(obj float64, x []float64) {
 		}
 	}
 	sh.mu.Lock()
+	improved := false
 	if obj < sh.incObj-1e-9 {
 		sh.incObj = obj
 		sh.incX = append([]float64(nil), x...)
+		improved = true
 	}
 	sh.mu.Unlock()
+	if improved {
+		sh.emitProgress(trace.KindIncumbent, worker, 0)
+	}
 }
 
 // best returns the final incumbent pair (nil X when none was found).
@@ -74,6 +92,67 @@ func (sh *shared) requestStop(r stopReason) {
 
 func (sh *shared) stopRequested() stopReason {
 	return stopReason(sh.stop.Load())
+}
+
+// raiseBound lifts the monotone display bound to v if it improves it,
+// reporting whether it moved. Safe under concurrent callers: the
+// CAS-max loop keeps dispBits non-decreasing.
+func (sh *shared) raiseBound(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	for {
+		old := sh.dispBits.Load()
+		if v <= math.Float64frombits(old) {
+			return false
+		}
+		if sh.dispBits.CompareAndSwap(old, math.Float64bits(v)) {
+			return true
+		}
+	}
+}
+
+// displayBound returns the current monotone display bound (-Inf until
+// the root LP is solved).
+func (sh *shared) displayBound() float64 {
+	return math.Float64frombits(sh.dispBits.Load())
+}
+
+// emitProgress emits a search-progress event carrying the global node
+// count, the incumbent (when one exists), the display bound and the
+// relative gap. No-op when tracing is off.
+func (sh *shared) emitProgress(kind trace.Kind, worker, sub int) {
+	if sh.tr == nil {
+		return
+	}
+	e := trace.Event{Kind: kind, Nodes: sh.nodes.Load(), Worker: worker, Subproblem: sub}
+	inc := sh.incumbent()
+	if !math.IsInf(inc, 0) && !math.IsNaN(inc) {
+		e.HasIncumbent = true
+		e.Incumbent = inc
+	}
+	b := sh.displayBound()
+	if !math.IsInf(b, 0) && !math.IsNaN(b) {
+		e.Bound = b
+		if e.HasIncumbent {
+			e.Gap = gapOf(inc, b)
+		}
+	}
+	sh.tr.Emit(e)
+}
+
+// gapOf is the relative optimality gap between an incumbent objective
+// and a proved lower bound, clamped at 0 and scaled by max(1, |inc|).
+func gapOf(inc, bound float64) float64 {
+	g := inc - bound
+	if g < 0 {
+		g = 0
+	}
+	d := math.Abs(inc)
+	if d < 1 {
+		d = 1
+	}
+	return g / d
 }
 
 // fix is one branching-bound assignment on the path from the root.
@@ -131,6 +210,7 @@ func (s *solver) solveParallel(res *Result) {
 			isInt:    s.isInt,
 			sh:       s.sh,
 			brancher: forkBrancher(s.brancher),
+			worker:   w + 1,
 		}
 		ws[w].observer = observerOf(ws[w].brancher)
 	}
@@ -151,6 +231,11 @@ func (s *solver) solveParallel(res *Result) {
 				if i >= len(subs) {
 					return
 				}
+				if s.sh.tr != nil {
+					s.sh.tr.Emit(trace.Event{Kind: trace.KindWorker,
+						Worker: w.worker, Subproblem: i + 1,
+						Nodes: s.sh.nodes.Load(), Msg: "pickup"})
+				}
 				sp := subs[i]
 				w.lps.Restore(snap)
 				for _, f := range sp.fixes {
@@ -163,12 +248,32 @@ func (s *solver) solveParallel(res *Result) {
 					return
 				}
 				completed[i].Store(true)
+				if s.sh.tr != nil {
+					// the proved bound is min over still-open subproblem
+					// bounds, clamped to the incumbent; the ratchet keeps
+					// the streamed sequence monotone (open-min only grows
+					// as subproblems finish, and the incumbent can never
+					// fall below a valid proved bound).
+					open := math.Inf(1)
+					for j := range subs {
+						if !completed[j].Load() && subs[j].bound < open {
+							open = subs[j].bound
+						}
+					}
+					if inc := s.sh.incumbent(); open > inc {
+						open = inc
+					}
+					if s.sh.raiseBound(open) {
+						s.sh.emitProgress(trace.KindBound, w.worker, i+1)
+					}
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
 	for _, w := range ws {
 		s.lps.Iterations += w.lps.Iterations
+		s.lps.Counters.Add(w.lps.Counters)
 	}
 	if r := s.sh.stopRequested(); r != reasonNone {
 		s.reason = r

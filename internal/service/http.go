@@ -1,15 +1,27 @@
 package service
 
-// The JSON HTTP API of the service, mounted by cmd/tpserve and
-// exercised end-to-end by the httptest suite:
+// The versioned JSON HTTP API of the service, mounted by cmd/tpserve
+// and exercised end-to-end by the httptest suite:
 //
-//	POST   /solve      synchronous solve; the request context (client
-//	                   disconnect, server timeout) cancels the search
-//	POST   /jobs       asynchronous submit, returns the job record
-//	GET    /jobs/{id}  job status + result
-//	DELETE /jobs/{id}  cooperative cancellation
-//	GET    /metrics    aggregate metrics snapshot
-//	GET    /healthz    liveness
+//	POST   /v1/solve            synchronous solve; the request context
+//	                            (client disconnect, server timeout)
+//	                            cancels the search
+//	POST   /v1/jobs             asynchronous submit, returns the job record
+//	GET    /v1/jobs/{id}        job status + result
+//	DELETE /v1/jobs/{id}        cooperative cancellation
+//	GET    /v1/jobs/{id}/events live solve progress as Server-Sent Events
+//	GET    /v1/metrics          Prometheus text exposition
+//	GET    /v1/stats            aggregate metrics snapshot (JSON)
+//	GET    /v1/healthz          liveness
+//
+// Errors are a uniform envelope: {"error":{"code":..., "message":...}}.
+//
+// The pre-versioning paths (/solve, /jobs, /jobs/{id}, /metrics,
+// /healthz) remain mounted as deprecated aliases of their /v1
+// successors — same handlers, plus a "Deprecation: true" header and a
+// successor-version Link. /metrics keeps its historical JSON body (the
+// Prometheus text format is new with /v1/metrics, served as /v1/stats'
+// sibling). The aliases will be removed in a future major version.
 //
 // Only net/http and encoding/json; no external dependencies.
 
@@ -22,77 +34,173 @@ import (
 
 // NewHandler mounts the service's HTTP API on a fresh mux.
 func NewHandler(s *Service) http.Handler {
+	a := &api{s: s}
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":  "ok",
-			"workers": s.Workers(),
-		})
-	})
+	mux.HandleFunc("GET /v1/healthz", a.healthz)
+	mux.HandleFunc("GET /v1/metrics", a.metrics)
+	mux.HandleFunc("GET /v1/stats", a.stats)
+	mux.HandleFunc("POST /v1/solve", a.solve)
+	mux.HandleFunc("POST /v1/jobs", a.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.job)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
-	})
-
-	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
-		req, ok := decodeRequest(w, r)
-		if !ok {
-			return
-		}
-		info, err := s.Solve(r.Context(), req)
-		if err != nil && info.ID == "" {
-			writeSubmitError(w, err)
-			return
-		}
-		code := http.StatusOK
-		if err != nil {
-			// the client went away or its deadline passed; the job was
-			// cancelled cooperatively
-			code = statusClientClosedRequest
-		}
-		writeJSON(w, code, info)
-	})
-
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
-		req, ok := decodeRequest(w, r)
-		if !ok {
-			return
-		}
-		id, err := s.Submit(req)
-		if err != nil {
-			writeSubmitError(w, err)
-			return
-		}
-		info, _ := s.Job(id)
-		writeJSON(w, http.StatusAccepted, info)
-	})
-
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		info, err := s.Job(r.PathValue("id"))
-		if err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, info)
-	})
-
-	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if _, err := s.Job(id); err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
-			return
-		}
-		s.Cancel(id) // best effort: false just means it already finished
-		info, err := s.Job(id)
-		if err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
-			return
-		}
-		writeJSON(w, http.StatusOK, info)
-	})
+	// deprecated unversioned aliases
+	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", a.healthz))
+	mux.HandleFunc("GET /metrics", deprecated("/v1/stats", a.stats))
+	mux.HandleFunc("POST /solve", deprecated("/v1/solve", a.solve))
+	mux.HandleFunc("POST /jobs", deprecated("/v1/jobs", a.submit))
+	mux.HandleFunc("GET /jobs/{id}", deprecated("/v1/jobs/{id}", a.job))
+	mux.HandleFunc("DELETE /jobs/{id}", deprecated("/v1/jobs/{id}", a.cancel))
 
 	return mux
+}
+
+// deprecated wraps a handler with the deprecation headers pointing at
+// the /v1 successor route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// api holds the handler methods; one instance per NewHandler call.
+type api struct {
+	s *Service
+}
+
+func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": a.s.Workers(),
+	})
+}
+
+func (a *api) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.s.Stats())
+}
+
+func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.s.Stats().WritePrometheus(w)
+}
+
+func (a *api) solve(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	info, err := a.s.Solve(r.Context(), req)
+	if err != nil && info.ID == "" {
+		writeSubmitError(w, err)
+		return
+	}
+	code := http.StatusOK
+	if err != nil {
+		// the client went away or its deadline passed; the job was
+		// cancelled cooperatively
+		code = statusClientClosedRequest
+	}
+	writeJSON(w, code, info)
+}
+
+func (a *api) submit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	id, err := a.s.Submit(req)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	info, _ := a.s.Job(id)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (a *api) job(w http.ResponseWriter, r *http.Request) {
+	info, err := a.s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := a.s.Job(id); err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	a.s.Cancel(id) // best effort: false just means it already finished
+	info, err := a.s.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// events streams the job's solve trace as Server-Sent Events: one
+// event per trace.Event, the event name set to the kind, the id to the
+// event's position in the job's stream, the data to the JSON encoding.
+// The stream ends when the job reaches a terminal state (the final
+// "job" event is sent first) or the client disconnects. Sampled node
+// events carry the incumbent objective, the proved bound, the relative
+// gap and the node count, so `curl -N` renders live solver progress.
+func (a *api) events(w http.ResponseWriter, r *http.Request) {
+	ring, err := a.s.Events(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "unsupported", "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	var cursor uint64
+	for {
+		// take the wait channel BEFORE draining: an event emitted
+		// between Since and Wait would otherwise be missed until the
+		// next one arrives
+		wait := ring.Wait()
+		evs, next := ring.Since(cursor)
+		cursor = next
+		for i, e := range evs {
+			data, jerr := json.Marshal(e)
+			if jerr != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n",
+				next-uint64(len(evs)-i), e.Kind, data)
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if ring.Closed() {
+			// drain anything emitted between Since and Close
+			if evs, next = ring.Since(cursor); len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wait:
+		}
+	}
 }
 
 // statusClientClosedRequest is nginx's non-standard 499 "client closed
@@ -104,7 +212,7 @@ func decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding request: %v", err))
 		return nil, false
 	}
 	return &req, true
@@ -112,15 +220,27 @@ func decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
 
 func writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "queue_full", err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 	default:
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// errorEnvelope is the uniform error body of every endpoint.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: msg}})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,391 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// postV1 marshals req and POSTs it to url, decoding the response into
+// out when the status matches want.
+func postV1(t *testing.T, url string, req *Request, want int, out any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d, want %d: %s", url, resp.StatusCode, want, b)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestV1EventsSSE drives the observability tentpole end to end: submit
+// a job over POST /v1/jobs, stream GET /v1/jobs/{id}/events until the
+// server ends the stream, and check the event taxonomy — a model event,
+// a root bound, at least one incumbent, a monotone best bound, and the
+// terminal job transition last.
+func TestV1EventsSSE(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer closeBounded(t, s)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	// no prime heuristic: the incumbent must come from the branch and
+	// bound itself, so the stream carries real incumbent events
+	req := fastRequest()
+	req.Options.PrimeHeuristic = false
+
+	var job JobInfo
+	postV1(t, ts.URL+"/v1/jobs", req, http.StatusAccepted, &job)
+	if job.ID == "" {
+		t.Fatal("submit returned no job ID")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events: Content-Type %q", ct)
+	}
+
+	// the stream ends when the job finalizes and its ring closes; the
+	// server closes the response body, so reading to EOF is the contract
+	var events []trace.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e trace.Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err != nil {
+			t.Fatalf("bad event payload %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+
+	kinds := map[trace.Kind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []trace.Kind{trace.KindModel, trace.KindRoot, trace.KindIncumbent, trace.KindJob} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q event in stream (got %v)", k, kinds)
+		}
+	}
+
+	// the proved bound never regresses across root/node/bound/status
+	prev := -1e18
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindRoot, trace.KindNode, trace.KindBound, trace.KindStatus:
+			if e.Bound < prev-1e-9 {
+				t.Fatalf("bound regressed: %g after %g (seq %d)", e.Bound, prev, e.Seq)
+			}
+			if e.Bound > prev {
+				prev = e.Bound
+			}
+		}
+	}
+
+	last := events[len(events)-1]
+	if last.Kind != trace.KindJob {
+		t.Fatalf("last event kind %q, want job", last.Kind)
+	}
+	if last.Status != string(StatusDone) {
+		t.Fatalf("terminal job status %q, want done", last.Status)
+	}
+	if !last.HasIncumbent {
+		t.Fatal("terminal job event carries no incumbent")
+	}
+
+	info := waitFinished(t, s, job.ID, time.Second)
+	if info.Status != StatusDone {
+		t.Fatalf("job finished %s: %s", info.Status, info.Error)
+	}
+}
+
+// TestV1ErrorEnvelope checks the uniform {"error":{code,message}} body
+// and status mapping of the v1 surface.
+func TestV1ErrorEnvelope(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	check := func(resp *http.Response, wantStatus int, wantCode string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
+		}
+		var e errorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("decoding envelope: %v", err)
+		}
+		if e.Error.Code != wantCode {
+			t.Fatalf("code %q, want %q", e.Error.Code, wantCode)
+		}
+		if e.Error.Message == "" {
+			t.Fatal("empty error message")
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusNotFound, "not_found")
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusNotFound, "not_found")
+
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusBadRequest, "bad_request")
+
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"graph":""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusBadRequest, "bad_request")
+}
+
+// TestV1MetricsPrometheus checks the text exposition endpoint.
+func TestV1MetricsPrometheus(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	if _, err := s.Solve(context.Background(), fastRequest()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE tpserve_workers gauge",
+		"# TYPE tpserve_jobs_submitted_total counter",
+		"tpserve_jobs_submitted_total 1",
+		"tpserve_jobs_completed_total 1",
+		"tpserve_bb_nodes_total",
+		"tpserve_lp_pivots_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestDeprecatedAliases checks that the pre-versioning paths still work
+// and carry the deprecation headers pointing at their /v1 successors.
+func TestDeprecatedAliases(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	for _, tc := range []struct{ alias, successor string }{
+		{"/healthz", "/v1/healthz"},
+		{"/metrics", "/v1/stats"}, // the JSON body moved to /v1/stats
+	} {
+		old, oldBody := get(tc.alias)
+		if old.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", tc.alias, old.StatusCode)
+		}
+		if dep := old.Header.Get("Deprecation"); dep != "true" {
+			t.Errorf("GET %s: Deprecation header %q, want true", tc.alias, dep)
+		}
+		if link := old.Header.Get("Link"); !strings.Contains(link, tc.successor) ||
+			!strings.Contains(link, "successor-version") {
+			t.Errorf("GET %s: Link header %q lacks successor %s", tc.alias, link, tc.successor)
+		}
+		v1, v1Body := get(tc.successor)
+		if v1.Header.Get("Deprecation") != "" {
+			t.Errorf("GET %s: unexpected Deprecation header", tc.successor)
+		}
+		if oldBody != v1Body {
+			t.Errorf("GET %s body differs from %s:\n%s\nvs\n%s",
+				tc.alias, tc.successor, oldBody, v1Body)
+		}
+	}
+
+	// the alias /jobs accepts submissions exactly like /v1/jobs
+	var job JobInfo
+	body, _ := json.Marshal(fastRequest())
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("POST /jobs: no Deprecation header")
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if info := waitFinished(t, s, job.ID, 30*time.Second); info.Status != StatusDone {
+		t.Fatalf("aliased job finished %s: %s", info.Status, info.Error)
+	}
+}
+
+// TestStatsChurn hammers Stats() while jobs are submitted, cancelled
+// and completed concurrently. Run under -race it proves the metrics
+// counters are consistently locked; the final snapshot must balance.
+func TestStatsChurn(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer closeBounded(t, s)
+
+	const (
+		submitters    = 4
+		perSubmitter  = 6
+		totalSubmits  = submitters * perSubmitter
+		statsReaders  = 4
+		statsDuration = 200 * time.Millisecond
+	)
+
+	var wg sync.WaitGroup
+	ids := make(chan string, totalSubmits)
+
+	stop := make(chan struct{})
+	for r := 0; r < statsReaders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if st.Submitted < st.Completed+st.Failed+st.Cancelled {
+					t.Errorf("stats ran ahead: %+v", st)
+					return
+				}
+				_ = st.Workers
+			}
+		}()
+	}
+
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				req := fastRequest()
+				id, err := s.Submit(req)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				// cancel a third of the jobs right away: some while
+				// queued, some mid-solve, some already finished
+				if i%3 == 0 {
+					s.Cancel(id)
+				}
+				ids <- id
+			}
+		}(g)
+	}
+
+	deadline := time.After(statsDuration)
+	<-deadline
+	close(stop)
+
+	collected := make([]string, 0, totalSubmits)
+	for len(collected) < totalSubmits {
+		collected = append(collected, <-ids)
+	}
+	for _, id := range collected {
+		waitFinished(t, s, id, 30*time.Second)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Submitted != totalSubmits {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, totalSubmits)
+	}
+	if got := st.Completed + st.Failed + st.Cancelled; got != totalSubmits {
+		t.Fatalf("completed %d + failed %d + cancelled %d = %d, want %d",
+			st.Completed, st.Failed, st.Cancelled, got, totalSubmits)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("failed = %d, want 0", st.Failed)
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("service not drained: %+v", st)
+	}
+}

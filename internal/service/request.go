@@ -83,37 +83,27 @@ func (d DeviceSpec) resolve() (library.Device, error) {
 	return dev, dev.Validate()
 }
 
-// SolveOptions is the JSON view of core.Options.
+// SolveOptions is the JSON view of core.Options: the canonical option
+// struct is embedded verbatim — its JSON tags define the wire names
+// (n, l, linearization, tightened, ...) — plus the service-level
+// conveniences that have no core field. The service historically
+// defaults to the tightened model, so absent both "tightened" and
+// "base" the cuts are on; "base": true turns them off; an explicit
+// "tightened": true always wins.
 type SolveOptions struct {
-	// N bounds the number of temporal partitions; 0 estimates it with
-	// the list-scheduling heuristic.
-	N int `json:"n,omitempty"`
-	// L is the latency relaxation over the maximum ALAP.
-	L int `json:"l,omitempty"`
-	// Fortet selects Fortet's linearization instead of Glover's.
+	core.Options
+
+	// Fortet selects Fortet's linearization instead of Glover's; a
+	// legacy shorthand for "linearization": "fortet".
 	Fortet bool `json:"fortet,omitempty"`
 	// Base disables the Section-6 tightening cuts (the untightened
 	// Table-1 model).
 	Base bool `json:"base,omitempty"`
-	// Multicycle honors FU latencies greater than one control step.
-	Multicycle bool `json:"multicycle,omitempty"`
-	// ExactSweep enables the assignment-enumeration optimality engine.
-	ExactSweep bool `json:"exact_sweep,omitempty"`
-	// DisableProbe turns off the exact-scheduling node probe.
-	DisableProbe bool `json:"disable_probe,omitempty"`
-	// PrimeHeuristic seeds branch and bound with the list-scheduled
-	// incumbent.
-	PrimeHeuristic bool `json:"prime_heuristic,omitempty"`
-	// MaxNodes limits branch-and-bound nodes (0 = unlimited).
-	MaxNodes int `json:"max_nodes,omitempty"`
-	// TimeLimitMS bounds the solve wall-clock time; 0 applies the
-	// service's default timeout.
+	// TimeLimitMS bounds the solve wall-clock time in milliseconds; 0
+	// applies the service's default timeout. This is the wire form of
+	// core.Options.TimeLimit, which never crosses the API as
+	// nanoseconds.
 	TimeLimitMS int64 `json:"time_limit_ms,omitempty"`
-	// Parallelism sets the number of branch-and-bound workers for this
-	// solve; 0 applies the service's configured default. The result is
-	// identical to a serial solve (only the runtime changes), so the
-	// value does not participate in the instance cache key.
-	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // instance is a compiled request: the validated core instance and
@@ -150,26 +140,21 @@ func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) 
 	if err != nil {
 		return nil, err
 	}
-	opt := core.Options{
-		N:              r.Options.N,
-		L:              r.Options.L,
-		Tightened:      !r.Options.Base,
-		Multicycle:     r.Options.Multicycle,
-		ExactSweep:     r.Options.ExactSweep,
-		DisableProbe:   r.Options.DisableProbe,
-		PrimeHeuristic: r.Options.PrimeHeuristic,
-		MaxNodes:       r.Options.MaxNodes,
-		TimeLimit:      defaultTimeout,
-		Parallelism:    defaultParallelism,
-	}
+	opt := r.Options.Options
+	opt.Trace = nil // tracing is attached per job by the service
+	opt.Tightened = opt.Tightened || !r.Options.Base
 	if r.Options.Fortet {
 		opt.Linearization = core.LinFortet
 	}
+	opt.TimeLimit = defaultTimeout
 	if r.Options.TimeLimitMS > 0 {
 		opt.TimeLimit = time.Duration(r.Options.TimeLimitMS) * time.Millisecond
 	}
-	if r.Options.Parallelism > 0 {
-		opt.Parallelism = r.Options.Parallelism
+	if opt.Parallelism == 0 {
+		opt.Parallelism = defaultParallelism
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	ci := &instance{
 		inst: core.Instance{Graph: g, Alloc: alloc, Device: dev},
@@ -191,6 +176,7 @@ func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) 
 // and share cache entries.
 func canonicalKey(g *graph.Graph, alloc *library.Allocation, dev library.Device, opt core.Options) string {
 	opt.Parallelism = 0
+	opt.Trace = nil // a per-job tracer must not perturb the identity
 	h := sha256.New()
 	fmt.Fprintf(h, "graph:%s\n", g.String())
 	fmt.Fprintf(h, "alloc:%s\n", alloc.String())

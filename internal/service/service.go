@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Sentinel errors of Submit/Solve.
@@ -122,6 +123,11 @@ type job struct {
 	cancelOnce         sync.Once
 	done               chan struct{}
 	index              int // heap index; -1 when not queued
+	// events buffers this job's solve events for live streaming
+	// (GET /v1/jobs/{id}/events). Fed by the flight's fanout while the
+	// solve runs; closed by finalizeLocked after the terminal job
+	// event, which ends any attached SSE stream.
+	events *trace.Ring
 }
 
 // flight is one in-progress solve shared by every job with the same
@@ -133,6 +139,10 @@ type flight struct {
 	waiters int
 	res     *core.Result
 	err     error
+	// fanout distributes the shared solve's trace events to the event
+	// ring of every job attached to this flight; joiners Add their ring
+	// and see events from the join onward.
+	fanout *trace.Fanout
 }
 
 // Service is a concurrent solve service. Create with New; all methods
@@ -200,6 +210,7 @@ func (s *Service) Submit(req *Request) (string, error) {
 		cancelCh:  make(chan struct{}),
 		done:      make(chan struct{}),
 		index:     -1,
+		events:    trace.NewRing(0),
 	}
 	s.jobs[j.id] = j
 	heap.Push(&s.queue, j)
@@ -366,9 +377,11 @@ func (s *Service) run(j *job) {
 	}
 	if f, ok := s.flights[key]; ok {
 		// an identical instance is already solving: share its outcome
+		// (and its event stream, from this point onward)
 		f.waiters++
 		j.cacheHit = true
 		s.stats.cacheHits++
+		f.fanout.Add(j.events)
 		s.mu.Unlock()
 		select {
 		case <-f.done:
@@ -395,7 +408,8 @@ func (s *Service) run(j *job) {
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1,
+		fanout: trace.NewFanout(j.events)}
 	s.flights[key] = f
 	s.stats.cacheMisses++
 	s.mu.Unlock()
@@ -421,7 +435,9 @@ func (s *Service) run(j *job) {
 		}
 	}()
 
-	res, err := core.SolveInstanceContext(ctx, j.req.inst, j.req.opt)
+	op := j.req.opt
+	op.Trace = trace.New(f.fanout)
+	res, err := core.SolveInstanceContext(ctx, j.req.inst, op)
 	close(watchStop)
 
 	s.mu.Lock()
@@ -487,7 +503,43 @@ func (s *Service) finalizeLocked(j *job, res *core.Result, err error, status Job
 		delete(s.jobs, s.doneOrder[0])
 		s.doneOrder = s.doneOrder[1:]
 	}
+	// terminal job event, then close the ring so attached SSE streams
+	// drain it and end. Emitted directly (not through the flight's
+	// tracer): cache hits and cancellations settle without any flight.
+	e := trace.Event{
+		Kind:   trace.KindJob,
+		TMS:    durMS(j.finished.Sub(j.submitted)),
+		Status: string(status),
+	}
+	if err != nil {
+		e.Msg = err.Error()
+	}
+	if res != nil {
+		e.Nodes = int64(res.Nodes)
+		e.Pivots = int64(res.LPIterations)
+		if res.Solution != nil {
+			e.HasIncumbent = true
+			e.Incumbent = float64(res.Solution.Comm)
+		}
+	}
+	j.events.Emit(e)
+	j.events.Close()
 	close(j.done)
+}
+
+// Events returns the live event ring of a job: the trace of its solve
+// (model shape, root bound, node progress, incumbents, terminal
+// status) plus the final job transition. The ring is closed once the
+// job reaches a terminal state. Streaming readers combine Ring.Wait
+// with Ring.Since; see the SSE handler in http.go.
+func (s *Service) Events(id string) (*trace.Ring, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j.events, nil
 }
 
 // infoLocked snapshots a job. Callers hold s.mu.

@@ -21,7 +21,7 @@ func fastRequest() *Request {
 		Allocation: map[string]int{
 			"add16": 1, "sub16": 1, "mul16": 2, "cmp16": 1,
 		},
-		Options: SolveOptions{N: 2, L: 2, PrimeHeuristic: true},
+		Options: SolveOptions{Options: core.Options{N: 2, L: 2, PrimeHeuristic: true}},
 	}
 }
 
@@ -34,7 +34,7 @@ func heavyRequest(i int) *Request {
 		"graph graph1", fmt.Sprintf("graph heavy%d", i), 1)
 	return &Request{
 		Graph:    g,
-		Options:  SolveOptions{N: 5, L: 1, TimeLimitMS: 120000},
+		Options:  SolveOptions{Options: core.Options{N: 5, L: 1}, TimeLimitMS: 120000},
 		Priority: 10,
 	}
 }

@@ -4,6 +4,8 @@ package service
 // JSON-friendly snapshots served by GET /metrics.
 
 import (
+	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -86,6 +88,36 @@ func (c *counters) snapshot(workers, queued, running, inFlight, cached int) Stat
 		TotalSolveMS:      durMS(c.solveTime),
 		MaxSolveMS:        durMS(c.maxSolve),
 	}
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), served by GET /v1/metrics. Only
+// fmt — the format is simple enough that a client dependency would be
+// all cost.
+func (st Stats) WritePrometheus(w io.Writer) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("tpserve_workers", "Configured solver goroutines.", float64(st.Workers))
+	gauge("tpserve_jobs_queued", "Jobs waiting in the queue.", float64(st.Queued))
+	gauge("tpserve_jobs_running", "Jobs currently solving.", float64(st.Running))
+	gauge("tpserve_flights_in_progress", "Distinct instances solving after deduplication.", float64(st.InFlight))
+	gauge("tpserve_cached_results", "Completed results held in the LRU.", float64(st.CachedResults))
+	counter("tpserve_jobs_submitted_total", "Jobs submitted.", float64(st.Submitted))
+	counter("tpserve_jobs_completed_total", "Jobs finished successfully.", float64(st.Completed))
+	counter("tpserve_jobs_failed_total", "Jobs finished with an error.", float64(st.Failed))
+	counter("tpserve_jobs_cancelled_total", "Jobs cancelled.", float64(st.Cancelled))
+	counter("tpserve_cache_hits_total", "Jobs served from the cache or an in-flight solve.", float64(st.CacheHits))
+	counter("tpserve_cache_misses_total", "Fresh solves.", float64(st.CacheMisses))
+	counter("tpserve_bb_nodes_total", "Branch-and-bound nodes explored by fresh solves.", float64(st.TotalNodes))
+	counter("tpserve_lp_pivots_total", "Simplex pivots performed by fresh solves.", float64(st.TotalLPIterations))
+	counter("tpserve_queue_wait_seconds_total", "Cumulative queue wait.", st.TotalQueueWaitMS/1000)
+	gauge("tpserve_queue_wait_seconds_max", "Largest observed queue wait.", st.MaxQueueWaitMS/1000)
+	counter("tpserve_solve_seconds_total", "Cumulative solve wall time.", st.TotalSolveMS/1000)
+	gauge("tpserve_solve_seconds_max", "Largest observed solve wall time.", st.MaxSolveMS/1000)
 }
 
 // JobInfo is the JSON view of a job's state.

@@ -34,11 +34,13 @@ package repro
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/library"
 	"repro/internal/partition"
+	"repro/internal/trace"
 )
 
 // Re-exported model types.
@@ -64,6 +66,13 @@ type (
 	Result = core.Result
 	// Solution is a verified partitioning/synthesis result.
 	Solution = partition.Solution
+	// Tracer stamps and forwards structured solve events; attach one
+	// via Options.Trace. A nil Tracer disables tracing at zero cost.
+	Tracer = trace.Tracer
+	// TraceEvent is one structured observation of a traced solve.
+	TraceEvent = trace.Event
+	// TraceSink receives emitted trace events.
+	TraceSink = trace.Sink
 )
 
 // Common operation kinds.
@@ -127,3 +136,12 @@ func SolveContext(ctx context.Context, inst Instance, opt Options) (*Result, err
 // EstimateN runs the list-scheduling heuristic that upper-bounds the
 // number of temporal segments (the paper's preprocessing step).
 func EstimateN(inst Instance) (int, error) { return core.EstimateN(inst) }
+
+// NewTracer returns a tracer emitting to sink; set it on
+// Options.Trace to observe a solve (model shape, root bound, node
+// progress, incumbents, terminal status).
+func NewTracer(sink TraceSink) *Tracer { return trace.New(sink) }
+
+// NewTraceWriter returns a sink encoding each event as one JSON line
+// (NDJSON) on w — the format of the tpsyn/tptables -trace flag.
+func NewTraceWriter(w io.Writer) TraceSink { return trace.NewWriterSink(w) }

@@ -112,7 +112,7 @@ func TestFlowEndToEnd(t *testing.T) {
 	// device fits adder+multiplier together comfortably: 1 segment
 	fr, err := repro.Flow(
 		repro.Instance{Graph: g, Alloc: alloc, Device: repro.XC4025()},
-		repro.FlowOptions{L: 2, Inputs: map[int]int64{0: 5}},
+		repro.FlowOptions{Options: repro.Options{L: 2}, Inputs: map[int]int64{0: 5}},
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +152,7 @@ func TestFlowWidensN(t *testing.T) {
 	// though the kind-estimate may say 2 already; exercise the loop
 	dev := repro.Device{Name: "tiny", CapacityFG: 100, Alpha: 1.0, ScratchMem: 16}
 	fr, err := repro.Flow(repro.Instance{Graph: g, Alloc: alloc, Device: dev},
-		repro.FlowOptions{L: 1})
+		repro.FlowOptions{Options: repro.Options{L: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
