@@ -48,6 +48,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "solver time limit (matches the tpserve default)")
 		parallel = flag.Int("parallel", 0, "branch-and-bound workers (0 or 1 = serial)")
 		traceOut = flag.String("trace", "", "stream solver events as NDJSON to this file (- for stderr)")
+		record   = flag.String("record", "", "capture the search tree as a flight recording to this file for cmd/tpreplay (gzipped when the name ends in .gz)")
 		vhdl     = flag.Bool("vhdl", false, "emit per-segment RTL netlists")
 		sim      = flag.Bool("sim", false, "simulate the solution on the device model")
 		vcd      = flag.String("vcd", "", "write a VCD waveform of the simulated execution to this file")
@@ -103,6 +104,10 @@ func main() {
 		}
 		opt.Trace = trace.New(trace.NewWriterSink(w))
 	}
+	if *record != "" {
+		opt.Record = trace.NewRecorder(0)
+		opt.Record.SetLabel(g.Name)
+	}
 
 	inst := core.Instance{Graph: g, Alloc: alloc, Device: dev}
 	m, err := core.Build(inst, opt)
@@ -129,6 +134,15 @@ func main() {
 	res, err := m.SolveContext(context.Background())
 	fail(err)
 	fmt.Printf("solve: %d nodes, %d LP pivots, %v\n", res.Nodes, res.LPIterations, res.Runtime.Round(time.Millisecond))
+	if *record != "" {
+		// written before the infeasible exit below: a recording of a
+		// failed search is exactly what tpreplay is for
+		f, err := os.Create(*record)
+		fail(err)
+		fail(opt.Record.Snapshot().Encode(f, strings.HasSuffix(*record, ".gz")))
+		fail(f.Close())
+		fmt.Printf("record: search recording written to %s\n", *record)
+	}
 	if !res.Feasible {
 		if res.Optimal {
 			fmt.Println("result: infeasible — relax -l or increase -n")

@@ -25,20 +25,25 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "", "table to run: 1, 2, 3, 4, lin, branching, tighten (empty = all)")
-		timeout   = flag.Duration("timeout", experiments.DefaultTimeLimit, "per-row time limit")
-		benchmilp = flag.String("benchmilp", "", "run the serial-vs-parallel branch-and-bound suite and write its JSON report to this file")
-		parallel  = flag.Int("parallel", 0, "worker count for -benchmilp (0 = GOMAXPROCS, min 2)")
-		traceOut  = flag.String("trace", "", "stream solver events of every row as NDJSON to this file (- for stderr)")
+		table      = flag.String("table", "", "table to run: 1, 2, 3, 4, lin, branching, tighten (empty = all)")
+		timeout    = flag.Duration("timeout", experiments.DefaultTimeLimit, "per-row time limit")
+		benchmilp  = flag.String("benchmilp", "", "run the serial-vs-parallel branch-and-bound suite and write its JSON report to this file")
+		parallel   = flag.Int("parallel", 0, "worker count for -benchmilp (0 = GOMAXPROCS, min 2)")
+		trajectory = flag.String("trajectory", "", "append a dated distillation of the -benchmilp run to this JSON series (e.g. BENCH_trajectory.json)")
+		traceOut   = flag.String("trace", "", "stream solver events of every row as NDJSON to this file (- for stderr)")
 	)
 	flag.Parse()
 
 	if *benchmilp != "" {
-		if err := runBenchMILP(*benchmilp, *parallel); err != nil {
+		if err := runBenchMILP(*benchmilp, *trajectory, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "tptables:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *trajectory != "" {
+		fmt.Fprintln(os.Stderr, "tptables: -trajectory requires -benchmilp")
+		os.Exit(1)
 	}
 
 	var tr *trace.Tracer
@@ -85,8 +90,9 @@ func main() {
 }
 
 // runBenchMILP runs the parallel branch-and-bound suite, prints a
-// per-entry summary and writes the machine-readable report.
-func runBenchMILP(path string, parallel int) error {
+// per-entry summary and writes the machine-readable report; with a
+// trajectory path it also appends the dated distillation to the series.
+func runBenchMILP(path, trajectory string, parallel int) error {
 	rep, err := experiments.RunMILPBench(parallel)
 	if err != nil {
 		return err
@@ -113,5 +119,12 @@ func runBenchMILP(path string, parallel int) error {
 		return err
 	}
 	fmt.Printf("benchmilp: report written to %s\n", path)
+	if trajectory != "" {
+		date := time.Now().Format("2006-01-02")
+		if err := experiments.AppendTrajectory(trajectory, date, rep); err != nil {
+			return err
+		}
+		fmt.Printf("benchmilp: trajectory entry for %s appended to %s\n", date, trajectory)
+	}
 	return nil
 }

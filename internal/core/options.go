@@ -231,11 +231,27 @@ type Options struct {
 	// The optimum and its feasibility are identical either way — only
 	// node/pivot counts and runtime change.
 	Parallelism int `json:"parallelism,omitempty"`
+	// ParallelThreshold gates Parallelism behind the root-size estimate
+	// of milp.Options.ParallelThreshold: instances whose root tableau
+	// falls under the threshold run serially even when Parallelism > 1
+	// (the decision is emitted as a "plan" trace event). 0 applies
+	// milp.DefaultParallelThreshold; negative disables the gate. Ignored
+	// by the service's canonical cache key — like Parallelism, it cannot
+	// change the reported solution.
+	ParallelThreshold int `json:"parallel_threshold,omitempty"`
 	// Trace receives structured solve events (model shape, root bound,
 	// sampled node progress, incumbents, terminal status) when set.
 	// Nil disables tracing at zero cost. Never serialized, and ignored
 	// by the service's canonical cache key.
 	Trace *trace.Tracer `json:"-"`
+	// Record, when set, captures the branch-and-bound search lineage
+	// into the flight recorder (milp.Options.Record) for offline replay
+	// with cmd/tpreplay. Never serialized; never part of the cache key.
+	Record *trace.Recorder `json:"-"`
+	// Profile, when set, receives per-phase wall-time attribution from
+	// the MILP node loop and the LP engine (milp.Options.Profile). Never
+	// serialized; never part of the cache key.
+	Profile *trace.Profile `json:"-"`
 }
 
 // Validate checks the options for values no layer accepts: negative

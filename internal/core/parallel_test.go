@@ -48,6 +48,7 @@ func TestParallelMatchesSerialOnBenchmarks(t *testing.T) {
 				}
 				popt := opt
 				popt.Parallelism = 4
+				popt.ParallelThreshold = -1 // actually exercise the workers
 				par, err := SolveInstance(inst, popt)
 				if err != nil {
 					t.Fatal(err)

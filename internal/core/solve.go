@@ -96,14 +96,17 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	mopt := milp.Options{
-		IntVars:     m.intVars,
-		Brancher:    brancher,
-		ObjIntegral: true,
-		MaxNodes:    m.Opt.MaxNodes,
-		TimeLimit:   m.Opt.TimeLimit,
-		Complete:    m.complete,
-		Parallelism: m.Opt.Parallelism,
-		Trace:       m.Opt.Trace,
+		IntVars:           m.intVars,
+		Brancher:          brancher,
+		ObjIntegral:       true,
+		MaxNodes:          m.Opt.MaxNodes,
+		TimeLimit:         m.Opt.TimeLimit,
+		Complete:          m.complete,
+		Parallelism:       m.Opt.Parallelism,
+		ParallelThreshold: m.Opt.ParallelThreshold,
+		Trace:             m.Opt.Trace,
+		Record:            m.Opt.Record,
+		Profile:           m.Opt.Profile,
 	}
 	if !m.Opt.DisableProbe {
 		mopt.Probe = m.probe

@@ -102,10 +102,16 @@ func MILPBench() ([]MILPBenchEntry, error) {
 	return suite, nil
 }
 
-// runMILPEntry solves one entry at the given parallelism.
+// runMILPEntry solves one entry at the given parallelism. The parallel
+// leg disables the root-size gate: the suite exists to measure the true
+// serial-vs-parallel cost (including the overhead the gate hides), so
+// a gated fallback would silently benchmark serial against serial.
 func runMILPEntry(e MILPBenchEntry, parallelism int) (MILPRunStats, error) {
 	opt := e.Opt
 	opt.Parallelism = parallelism
+	if parallelism > 1 {
+		opt.ParallelThreshold = -1
+	}
 	start := time.Now()
 	res, err := core.SolveInstance(e.Inst, opt)
 	if err != nil {

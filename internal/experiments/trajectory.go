@@ -1,0 +1,76 @@
+package experiments
+
+// The performance trajectory: a dated, append-only distillation of the
+// serial-vs-parallel suite kept in BENCH_trajectory.json at the repo
+// root. Each CI bench-smoke run appends one entry, so regressions show
+// up as a time series rather than a single overwritten snapshot.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// TrajectoryResult is one suite entry distilled to the numbers worth
+// tracking over time.
+type TrajectoryResult struct {
+	Name       string  `json:"name"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// Nodes is the serial node count: a model or solver change that
+	// alters the search tree shows here even when wall time hides it.
+	Nodes int `json:"nodes"`
+}
+
+// TrajectoryEntry is one dated point of the series.
+type TrajectoryEntry struct {
+	// Date is the run date, YYYY-MM-DD.
+	Date        string             `json:"date"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Parallelism int                `json:"parallelism"`
+	Results     []TrajectoryResult `json:"results"`
+}
+
+// distillTrajectory reduces a full suite report to a trajectory entry.
+func distillTrajectory(date string, rep MILPBenchReport) TrajectoryEntry {
+	e := TrajectoryEntry{
+		Date:        date,
+		GOMAXPROCS:  rep.GOMAXPROCS,
+		Parallelism: rep.Parallelism,
+	}
+	for _, r := range rep.Entries {
+		e.Results = append(e.Results, TrajectoryResult{
+			Name:       r.Name,
+			SerialMS:   float64(r.Serial.NS) / 1e6,
+			ParallelMS: float64(r.Parallel.NS) / 1e6,
+			Speedup:    r.Speedup,
+			Nodes:      r.Serial.Nodes,
+		})
+	}
+	return e
+}
+
+// AppendTrajectory appends a dated distillation of rep to the JSON
+// array at path. A missing file starts a new series; a corrupt one is
+// an error, never silently overwritten.
+func AppendTrajectory(path, date string, rep MILPBenchReport) error {
+	var series []TrajectoryEntry
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &series); err != nil {
+			return fmt.Errorf("experiments: %s is not a trajectory series: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// first run: start the series
+	default:
+		return err
+	}
+	series = append(series, distillTrajectory(date, rep))
+	out, err := json.MarshalIndent(series, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func trajectoryReport(serialNS, parNS int64) MILPBenchReport {
+	return MILPBenchReport{
+		GOMAXPROCS:  8,
+		Parallelism: 4,
+		Entries: []MILPBenchResult{{
+			Name:     "fir16/N2L3",
+			Serial:   MILPRunStats{NS: serialNS, Nodes: 120, LPPivots: 9000, Comm: 3, Feasible: true, Optimal: true},
+			Parallel: MILPRunStats{NS: parNS, Nodes: 140, LPPivots: 9500, Comm: 3, Feasible: true, Optimal: true},
+			Speedup:  float64(serialNS) / float64(parNS),
+		}},
+	}
+}
+
+// TestAppendTrajectory checks the series lifecycle: a missing file
+// starts a new series, repeated appends grow it in order, and the
+// distillation keeps the tracked numbers.
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+
+	if err := AppendTrajectory(path, "2026-08-04", trajectoryReport(2e9, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(path, "2026-08-05", trajectoryReport(18e8, 8e8)); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []TrajectoryEntry
+	if err := json.Unmarshal(raw, &series); err != nil {
+		t.Fatalf("series not valid JSON: %v\n%s", err, raw)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series length %d, want 2", len(series))
+	}
+	if series[0].Date != "2026-08-04" || series[1].Date != "2026-08-05" {
+		t.Fatalf("dates out of order: %s, %s", series[0].Date, series[1].Date)
+	}
+	e := series[0]
+	if e.GOMAXPROCS != 8 || e.Parallelism != 4 || len(e.Results) != 1 {
+		t.Fatalf("entry shape wrong: %+v", e)
+	}
+	r := e.Results[0]
+	if r.Name != "fir16/N2L3" || r.SerialMS != 2000 || r.ParallelMS != 1000 || r.Speedup != 2 || r.Nodes != 120 {
+		t.Fatalf("distillation wrong: %+v", r)
+	}
+}
+
+// TestAppendTrajectoryRejectsCorrupt refuses to overwrite a file that
+// is not a trajectory series.
+func TestAppendTrajectoryRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(path, "2026-08-05", trajectoryReport(1, 1)); err == nil {
+		t.Fatal("corrupt series accepted")
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "{not json" {
+		t.Fatalf("corrupt file was rewritten to %q", raw)
+	}
+}

@@ -10,7 +10,9 @@ import "fmt"
 // branch with SetBound/ReOptimize as usual.
 //
 // The clone starts with Iterations = 0 and zeroed Counters so callers
-// can attribute work per worker; MaxIter, Deadline and Ctx carry over.
+// can attribute work per worker; MaxIter, Deadline, Ctx and Prof carry
+// over (the phase profile's buckets are atomic, so parent and clone
+// record into the shared profile safely).
 func (s *Solver) Clone() *Solver {
 	return &Solver{
 		n: s.n, m: s.m, ntot: s.ntot,
@@ -31,6 +33,7 @@ func (s *Solver) Clone() *Solver {
 		MaxIter:  s.MaxIter,
 		Deadline: s.Deadline,
 		Ctx:      s.Ctx,
+		Prof:     s.Prof,
 	}
 }
 

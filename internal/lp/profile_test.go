@@ -1,0 +1,66 @@
+package lp
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestProfileAttributesSolve: with a phase profile attached, a solve
+// populates the LP-internal phases — pricing, pivot updates and the
+// initial refactorization — and a warm ReOptimize keeps adding to them.
+func TestProfileAttributesSolve(t *testing.T) {
+	s := buildReoptProblem(t)
+	prof := trace.NewProfile()
+	s.Prof = prof
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("solve status %v", st)
+	}
+	if n := prof.Hist(trace.PhaseRefactorize).Count(); n == 0 {
+		t.Fatal("no refactorization observed (Solve resets the basis)")
+	}
+	if n := prof.Hist(trace.PhasePricing).Count(); n == 0 {
+		t.Fatal("no pricing laps observed")
+	}
+	before := prof.Hist(trace.PhasePricing).Count()
+	s.SetBound(0, 0, 3)
+	if st := s.ReOptimize(); st != StatusOptimal {
+		t.Fatalf("reoptimize status %v", st)
+	}
+	if prof.Hist(trace.PhasePricing).Count() <= before {
+		t.Fatal("warm ReOptimize recorded no pricing laps")
+	}
+	// a clone shares the parent's profile so parallel workers aggregate
+	// into one place
+	if cl := s.Clone(); cl.Prof != prof {
+		t.Fatal("Clone dropped the profile")
+	}
+}
+
+// TestProfiledReOptimizeSteadyStateAllocs extends the zero-alloc
+// guarantee to the profiling-ON path: Observe targets preallocated
+// atomic buckets, so even with a profile attached the warm pivot cycle
+// must not allocate.
+func TestProfiledReOptimizeSteadyStateAllocs(t *testing.T) {
+	s := buildReoptProblem(t)
+	s.Prof = trace.NewProfile()
+	if st := s.Solve(); st != StatusOptimal {
+		t.Fatalf("solve status %v", st)
+	}
+	flip := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		lo, hi := 0.0, 6.0
+		if flip%2 == 0 {
+			hi = 2
+		}
+		flip++
+		s.SetBound(0, lo, hi)
+		s.SetBound(1, lo, hi)
+		if st := s.ReOptimize(); st != StatusOptimal {
+			t.Fatalf("reoptimize status %v", st)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("profiled warm ReOptimize allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,6 +1,11 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"time"
+
+	"repro/internal/trace"
+)
 
 // This file contains the pivoting engines. Conventions:
 //
@@ -19,11 +24,24 @@ import "math"
 // degenerate pivots.
 func (s *Solver) primalSimplex() Status {
 	limit := s.maxIter()
+	// Phase attribution: prof is hoisted so the loop gates each clock
+	// read on one pointer compare; tl is the running lap mark. With
+	// Prof nil the loop contains no time.Now calls and no allocation.
+	prof := s.Prof
+	var tl time.Time
 	for iter := 0; iter < limit; iter++ {
 		if s.expired(iter) {
 			return StatusIterLimit
 		}
+		if prof != nil {
+			tl = time.Now()
+		}
 		q := s.pricePrimal()
+		if prof != nil {
+			now := time.Now()
+			prof.Observe(trace.PhasePricing, now.Sub(tl).Nanoseconds())
+			tl = now
+		}
 		if q < 0 {
 			return StatusOptimal
 		}
@@ -32,6 +50,11 @@ func (s *Solver) primalSimplex() Status {
 			sigma = -1
 		}
 		leave, step, hitUpper, flip := s.ratioPrimal(q, sigma)
+		if prof != nil {
+			now := time.Now()
+			prof.Observe(trace.PhaseRatio, now.Sub(tl).Nanoseconds())
+			tl = now
+		}
 		if math.IsInf(step, 1) {
 			return StatusUnbounded
 		}
@@ -45,9 +68,15 @@ func (s *Solver) primalSimplex() Status {
 			} else {
 				s.vstat[q], s.nbVal[q] = atLower, s.lo[q]
 			}
+			if prof != nil {
+				prof.Observe(trace.PhaseUpdate, time.Since(tl).Nanoseconds())
+			}
 			continue
 		}
 		s.pivot(leave, q, sigma*step, hitUpper)
+		if prof != nil {
+			prof.Observe(trace.PhaseUpdate, time.Since(tl).Nanoseconds())
+		}
 	}
 	return StatusIterLimit
 }
@@ -213,18 +242,39 @@ func (s *Solver) ratioPrimal(q int, sigma float64) (leave int, step float64, hit
 // degeneracy).
 func (s *Solver) dualSimplex() Status {
 	limit := s.maxIter()
+	// same phase-attribution scheme as primalSimplex: one pointer
+	// compare per lap when profiling is off
+	prof := s.Prof
+	var tl time.Time
 	for iter := 0; iter < limit; iter++ {
 		if s.expired(iter) {
 			return StatusIterLimit
 		}
+		if prof != nil {
+			tl = time.Now()
+		}
 		r, below := s.priceDual()
+		if prof != nil {
+			now := time.Now()
+			prof.Observe(trace.PhasePricing, now.Sub(tl).Nanoseconds())
+			tl = now
+		}
 		if r < 0 {
 			return StatusOptimal // primal feasible; dual feasibility maintained
 		}
 		q := s.ratioDual(r, below)
+		if prof != nil {
+			now := time.Now()
+			prof.Observe(trace.PhaseRatio, now.Sub(tl).Nanoseconds())
+			tl = now
+		}
 		if q < 0 {
 			s.Counters.FarkasChecks++
-			if s.farkasCertified(r) {
+			certified := s.farkasCertified(r)
+			if prof != nil {
+				prof.Observe(trace.PhaseFarkas, time.Since(tl).Nanoseconds())
+			}
+			if certified {
 				return StatusInfeasible
 			}
 			s.Counters.FarkasRejected++
@@ -243,6 +293,9 @@ func (s *Solver) dualSimplex() Status {
 		s.Iterations++
 		s.noteDegenerate(math.Abs(delta))
 		s.pivot(r, q, delta, !below)
+		if prof != nil {
+			prof.Observe(trace.PhaseUpdate, time.Since(tl).Nanoseconds())
+		}
 	}
 	return StatusIterLimit
 }

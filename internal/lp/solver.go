@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Status is the outcome of an LP solve.
@@ -150,6 +152,14 @@ type Solver struct {
 	// the cooperative-cancellation hook the MILP layer (and through it
 	// the solve service) relies on.
 	Ctx context.Context
+	// Prof, when non-nil, receives per-phase wall-time attribution from
+	// the pivot loops: pricing, ratio tests, pivot updates,
+	// refactorizations and Farkas certifications. Nil (the default)
+	// keeps the loops free of any clock reads; the warm ReOptimize
+	// cycle stays allocation-free either way (both guarded by tests).
+	// Clones share the parent's profile — its histogram buckets are
+	// atomic, so parallel workers record into one profile safely.
+	Prof *trace.Profile
 }
 
 // NewSolver builds a solver for p. The problem must have at least one
@@ -195,6 +205,10 @@ func NewSolver(p *Problem) (*Solver, error) {
 // reset restores the all-logical basis with nonbasic structural
 // variables at cost-favourable bounds.
 func (s *Solver) reset() {
+	var t0 time.Time
+	if s.Prof != nil {
+		t0 = time.Now()
+	}
 	s.Counters.Refactorizations++
 	for i := range s.tab {
 		s.tab[i] = 0
@@ -224,6 +238,9 @@ func (s *Solver) reset() {
 	s.pCur = 0
 	s.dCand = s.dCand[:0]
 	s.dCur = 0
+	if s.Prof != nil {
+		s.Prof.Observe(trace.PhaseRefactorize, time.Since(t0).Nanoseconds())
+	}
 }
 
 // setNonbasicStart places nonbasic variable j on the bound favoured by

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/lp"
@@ -149,6 +150,33 @@ type Options struct {
 	// terminal status with LP engine counters. Nil disables tracing at
 	// zero cost — the hot node loop gates on a single pointer compare.
 	Trace *trace.Tracer
+	// Record, when set, captures the full search lineage into the
+	// flight recorder: every explored node with its id/parent, the
+	// branching edge (column and direction), LP status, local objective,
+	// global bound and incumbent at entry, and per-node pivot/wall-time
+	// cost, plus incumbent installs and a terminal footer — for both
+	// serial and parallel solves. Recording implies phase profiling:
+	// when Profile is nil a private profile is created and attached to
+	// the recording footer. Nil disables recording at zero cost, like
+	// Trace.
+	Record *trace.Recorder
+	// Profile, when set, receives per-phase wall-time attribution: the
+	// node-level phases of this package (node-lp, probe, complete,
+	// branch-select, verify) and, through lp.Solver.Prof, the engine's
+	// internal phases (pricing, ratio-test, pivot-update, refactorize,
+	// farkas). The profile is shared by all parallel workers — its
+	// buckets are atomic. Nil keeps every clock read out of the loops.
+	Profile *trace.Profile
+	// ParallelThreshold gates Parallelism behind a cheap root-size
+	// estimate: when the root tableau has fewer than this many cells
+	// (rows × (rows + columns)), or GOMAXPROCS < 2, or the root LP has
+	// too few fractional integers to split a meaningful tree, the solve
+	// falls back to the serial search — measurements (BENCH_milp.json)
+	// show the clone/split overhead hurting small instances. The
+	// decision either way is emitted as a "plan" trace event. 0 means
+	// DefaultParallelThreshold; negative disables the gate entirely so
+	// a parallel request is always honored.
+	ParallelThreshold int
 }
 
 // Result reports a solve.
@@ -197,6 +225,15 @@ type solver struct {
 	reason   stopReason
 	worker   int // 0 for the serial search, 1-based for parallel workers
 
+	// Observability state. rec/prof mirror Options.Record/Profile after
+	// SolveContext resolves the record-implies-profile rule; both are
+	// shared across parallel workers. curNode is the recorder id of the
+	// node this goroutine is currently exploring, so incumbent installs
+	// from candidate hooks can be attributed to the right node.
+	rec     *trace.Recorder
+	prof    *trace.Profile
+	curNode int64
+
 	// root-split collection mode (see solveParallel): when collect is
 	// non-nil, branch() records nodes at depth >= splitDepth as
 	// subproblems instead of descending into them. path tracks the
@@ -204,6 +241,19 @@ type solver struct {
 	splitDepth int
 	collect    *[]subproblem
 	path       []fix
+}
+
+// nodeMeta carries the recorder-facing identity of a node into
+// branch(): the lineage edge that created it (parent id, branching
+// column and direction) and the cost of the LP re-optimization that
+// entered it (pivots, wall nanoseconds). Zero-valued except col=-1 at
+// the root; cheap to build even when recording is off.
+type nodeMeta struct {
+	parent int64
+	col    int32
+	dir    int8
+	pivots int64
+	ns     int64
 }
 
 // Solve runs branch and bound on p without external cancellation.
@@ -256,6 +306,15 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 	s.observer = observerOf(opt.Brancher)
 	lps.Ctx = ctx // bound individual LP solves too
 
+	// Recording implies profiling so the recording footer always carries
+	// a phase breakdown; a caller-supplied Profile is reused as-is.
+	s.rec, s.prof = opt.Record, opt.Profile
+	if s.rec.Enabled() && s.prof == nil {
+		s.prof = trace.NewProfile()
+	}
+	s.rec.SetProfile(s.prof) // nil-receiver safe
+	lps.Prof = s.prof
+
 	if err := ctx.Err(); err != nil {
 		// cancelled before any work: report it without touching the
 		// problem (a dead context must not race root-LP infeasibility)
@@ -266,13 +325,27 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		return res, nil
 	}
 
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
 	rootStatus := lps.Solve()
+	rootMeta := nodeMeta{col: -1, pivots: int64(lps.Iterations)}
+	if s.prof != nil {
+		rootMeta.ns = time.Since(t0).Nanoseconds()
+		s.prof.Observe(trace.PhaseNodeLP, rootMeta.ns)
+	}
 	res := &Result{BestBound: math.Inf(-1)}
 	switch rootStatus {
 	case lp.StatusInfeasible:
 		res.Status = StatusInfeasible
 		res.Runtime = time.Since(start)
 		res.LPIterations = lps.Iterations
+		if s.rec.Enabled() {
+			s.rec.Node(trace.NodeRec{ID: 1, Col: -1, LP: "infeasible",
+				Pivots: rootMeta.pivots, NS: rootMeta.ns})
+			s.rec.Finalize(res.Status.String(), res.Runtime, 1, int64(res.LPIterations))
+		}
 		return res, nil
 	case lp.StatusUnbounded:
 		return nil, fmt.Errorf("milp: LP relaxation is unbounded")
@@ -285,6 +358,11 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		}
 		res.Runtime = time.Since(start)
 		res.LPIterations = lps.Iterations
+		if s.rec.Enabled() {
+			s.rec.Node(trace.NodeRec{ID: 1, Col: -1, LP: "iteration-limit",
+				Pivots: rootMeta.pivots, NS: rootMeta.ns})
+			s.rec.Finalize(res.Status.String(), res.Runtime, 1, int64(res.LPIterations))
+		}
 		return res, nil
 	}
 	res.BestBound = lps.Objective()
@@ -294,9 +372,21 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 			Pivots: int64(lps.Iterations)})
 	}
 	if opt.Parallelism > 1 {
-		s.solveParallel(res)
+		if why := s.serialFallback(); why != "" {
+			if s.sh.tr != nil {
+				s.sh.tr.Emit(trace.Event{Kind: trace.KindPlan, Bound: res.BestBound,
+					Msg: "serial fallback: " + why})
+			}
+			s.branch(lp.StatusOptimal, 0, rootMeta)
+		} else {
+			if s.sh.tr != nil {
+				s.sh.tr.Emit(trace.Event{Kind: trace.KindPlan, Bound: res.BestBound,
+					Worker: opt.Parallelism, Msg: "parallel search"})
+			}
+			s.solveParallel(res, rootMeta)
+		}
 	} else {
-		s.branch(lp.StatusOptimal, 0)
+		s.branch(lp.StatusOptimal, 0, rootMeta)
 	}
 
 	incObj, incX := s.sh.best()
@@ -325,6 +415,9 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		} else if res.BestBound > incObj {
 			res.BestBound = incObj
 		}
+	}
+	if s.rec.Enabled() {
+		s.rec.Finalize(res.Status.String(), res.Runtime, int64(res.Nodes), int64(res.LPIterations))
 	}
 	if s.sh.tr != nil {
 		s.sh.raiseBound(res.BestBound)
@@ -363,10 +456,29 @@ func (s *solver) bound(z float64) float64 {
 // been solved with the given status) and its subtree, restoring all
 // bound changes before returning. depth is the number of branching
 // fixes between the root and this node; it only matters in the
-// root-split collection mode of a parallel solve.
-func (s *solver) branch(st lp.Status, depth int) {
+// root-split collection mode of a parallel solve. meta identifies the
+// node to the flight recorder (lineage edge and entry-LP cost).
+func (s *solver) branch(st lp.Status, depth int, meta nodeMeta) {
 	s.local++
 	total := s.sh.nodes.Add(1)
+	if s.rec != nil {
+		nr := trace.NodeRec{
+			ID: total, Parent: meta.parent, Worker: int32(s.worker),
+			Depth: int32(depth), Col: meta.col, Dir: meta.dir,
+			LP: st.String(), Pivots: meta.pivots, NS: meta.ns,
+		}
+		if b := s.sh.displayBound(); !math.IsInf(b, 0) {
+			nr.Best = b
+		}
+		if inc := s.sh.incumbent(); !math.IsInf(inc, 0) {
+			nr.Inc, nr.HasInc = inc, true
+		}
+		if st == lp.StatusOptimal {
+			nr.Obj, nr.HasObj = s.lps.Objective(), true
+		}
+		s.rec.Node(nr)
+		s.curNode = total
+	}
 	if r := s.limitHit(total); r != reasonNone {
 		s.reason = r
 		return
@@ -381,7 +493,7 @@ func (s *solver) branch(st lp.Status, depth int) {
 		// treat as unresolved: cannot prune, cannot trust; re-solve
 		// from scratch once, then give up on this subtree if it
 		// persists (counted as a stop so optimality is not claimed).
-		if s.lps.Solve() == lp.StatusIterLimit {
+		if s.resolveNodeLP() == lp.StatusIterLimit {
 			s.reason = reasonTime
 			if context.Cause(s.ctx) == context.Canceled {
 				s.reason = reasonCtx
@@ -399,7 +511,14 @@ func (s *solver) branch(st lp.Status, depth int) {
 	}
 	x := s.lps.Solution()
 	if s.opt.Probe != nil {
+		var t0 time.Time
+		if s.prof != nil {
+			t0 = time.Now()
+		}
 		xc, exhausted := s.opt.Probe(x, s.lps.Bound)
+		if s.prof != nil {
+			s.prof.Observe(trace.PhaseProbe, time.Since(t0).Nanoseconds())
+		}
 		if xc != nil && s.acceptCandidate(xc, z, false) {
 			return // candidate matches the node bound: subtree fathomed
 		}
@@ -409,10 +528,25 @@ func (s *solver) branch(st lp.Status, depth int) {
 	}
 	col, oneFirst := -1, true
 	if s.brancher != nil {
+		var t0 time.Time
+		if s.prof != nil {
+			t0 = time.Now()
+		}
 		col, oneFirst = s.brancher.Select(x, s.lps.Bound)
+		if s.prof != nil {
+			s.prof.Observe(trace.PhaseBranchSelect, time.Since(t0).Nanoseconds())
+		}
 	}
 	if col < 0 && s.opt.Complete != nil {
-		if xc := s.opt.Complete(x); xc != nil && s.acceptCandidate(xc, z, true) {
+		var t0 time.Time
+		if s.prof != nil {
+			t0 = time.Now()
+		}
+		xc := s.opt.Complete(x)
+		if s.prof != nil {
+			s.prof.Observe(trace.PhaseComplete, time.Since(t0).Nanoseconds())
+		}
+		if xc != nil && s.acceptCandidate(xc, z, true) {
 			return
 		}
 	}
@@ -425,14 +559,14 @@ func (s *solver) branch(st lp.Status, depth int) {
 		// the point against the original problem data; on failure,
 		// re-solve this node's LP from a fresh basis once and resume
 		// (the fresh vertex may be fractional again, so re-branch).
-		if err := s.prob.Feasible(x, 1e-5); err != nil {
-			switch s.lps.Solve() {
+		if err := s.checkFeasible(x, 1e-5); err != nil {
+			switch s.resolveNodeLP() {
 			case lp.StatusInfeasible:
 				return
 			case lp.StatusOptimal:
 				x = s.lps.Solution()
 				z = s.lps.Objective()
-				if s.prob.Feasible(x, 1e-5) != nil {
+				if s.checkFeasible(x, 1e-5) != nil {
 					return // still inconsistent: do not trust this node
 				}
 				if s.bound(z) >= s.sh.incumbent()-1e-9 {
@@ -448,17 +582,21 @@ func (s *solver) branch(st lp.Status, depth int) {
 			if s.opt.ObjIntegral {
 				obj = math.Round(obj)
 			}
-			s.sh.install(obj, x, s.worker)
+			if s.sh.install(obj, x, s.worker) && s.rec != nil {
+				s.rec.Incumbent(s.curNode, obj)
+			}
 			return
 		}
 	}
 	if s.collect != nil && depth >= s.splitDepth {
 		// root-split mode: this node needs branching and is deep enough
 		// to hand to a worker — record its branching prefix and bound
-		// instead of descending.
+		// instead of descending. parent=total makes the worker's pickup
+		// re-solve of this subproblem a recorded child of this node.
 		*s.collect = append(*s.collect, subproblem{
-			fixes: append([]fix(nil), s.path...),
-			bound: s.bound(z),
+			fixes:  append([]fix(nil), s.path...),
+			bound:  s.bound(z),
+			parent: total,
 		})
 		return
 	}
@@ -473,17 +611,60 @@ func (s *solver) branch(st lp.Status, depth int) {
 		}
 		s.lps.SetBound(col, v, v)
 		s.path = append(s.path, fix{col: col, val: v})
+		cm := nodeMeta{parent: total, col: int32(col)}
+		if v >= 0.5 {
+			cm.dir = 1
+		}
+		var t0 time.Time
+		var piv0 int
+		if s.prof != nil {
+			t0, piv0 = time.Now(), s.lps.Iterations
+		}
 		cst := s.lps.ReOptimize()
+		if s.prof != nil {
+			cm.ns = time.Since(t0).Nanoseconds()
+			cm.pivots = int64(s.lps.Iterations - piv0)
+			s.prof.Observe(trace.PhaseNodeLP, cm.ns)
+		}
 		if s.observer != nil && cst == lp.StatusOptimal {
 			s.observer.Observe(col, v >= 0.5, z, s.lps.Objective())
 		}
-		s.branch(cst, depth+1)
+		s.branch(cst, depth+1, cm)
 		s.path = s.path[:len(s.path)-1]
 		s.lps.SetBound(col, lo, hi)
 		if s.reason != reasonNone {
 			return
 		}
 	}
+}
+
+// resolveNodeLP re-solves the current node's LP from a fresh basis
+// (drift recovery and iteration-limit retries), attributing the work to
+// the node-lp phase.
+func (s *solver) resolveNodeLP() lp.Status {
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
+	st := s.lps.Solve()
+	if s.prof != nil {
+		s.prof.Observe(trace.PhaseNodeLP, time.Since(t0).Nanoseconds())
+	}
+	return st
+}
+
+// checkFeasible verifies a point against the original problem data,
+// attributing the row scan to the verify phase.
+func (s *solver) checkFeasible(x []float64, tol float64) error {
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
+	err := s.prob.Feasible(x, tol)
+	if s.prof != nil {
+		s.prof.Observe(trace.PhaseVerify, time.Since(t0).Nanoseconds())
+	}
+	return err
 }
 
 // acceptCandidate validates a candidate point and installs it as the
@@ -513,15 +694,63 @@ func (s *solver) acceptCandidate(xc []float64, nodeBound float64, inNode bool) b
 			}
 		}
 	}
-	if err := s.prob.Feasible(xc, 1e-6); err != nil {
+	if err := s.checkFeasible(xc, 1e-6); err != nil {
 		return false
 	}
 	obj := s.prob.Objective(xc)
 	if s.opt.ObjIntegral {
 		obj = math.Round(obj)
 	}
-	s.sh.install(obj, xc, s.worker)
+	if s.sh.install(obj, xc, s.worker) && s.rec != nil {
+		s.rec.Incumbent(s.curNode, obj)
+	}
 	return obj <= nodeBound+1e-6*(1+math.Abs(nodeBound))
+}
+
+// DefaultParallelThreshold is the root-tableau cell count — rows times
+// (rows + columns), the per-pivot work of the dense engine — below
+// which a parallel request falls back to the serial search when
+// Options.ParallelThreshold is 0. Calibrated against BENCH_milp.json:
+// instances under this size solve in milliseconds and the clone/split
+// overhead outweighs any concurrency win.
+const DefaultParallelThreshold = 1 << 19
+
+// minParallelFrac is the minimum number of fractional integer columns
+// in the root LP for a parallel split to make sense: the root split
+// branches on fractional variables, so fewer than this yields a tree
+// too thin to keep multiple workers busy.
+const minParallelFrac = 4
+
+// serialFallback decides the parallel gate: it returns a non-empty
+// human-readable reason when a Parallelism > 1 request should run the
+// serial search instead, and "" to honor the parallel request. Called
+// with the root LP solved to optimality.
+func (s *solver) serialFallback() string {
+	th := s.opt.ParallelThreshold
+	if th < 0 {
+		return "" // gate disabled
+	}
+	if th == 0 {
+		th = DefaultParallelThreshold
+	}
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		return fmt.Sprintf("GOMAXPROCS=%d: workers would time-slice one core", p)
+	}
+	m, n := s.prob.NumRows(), s.prob.NumVars()
+	cells := int64(m) * int64(m+n)
+	if cells < int64(th) {
+		return fmt.Sprintf("root tableau %dx%d (%d cells) under threshold %d", m, m+n, cells, th)
+	}
+	frac := 0
+	for j, isInt := range s.isInt {
+		if isInt && isFrac(s.lps.X(j)) {
+			frac++
+		}
+	}
+	if frac < minParallelFrac {
+		return fmt.Sprintf("%d fractional integers at the root (min %d): tree too thin to split", frac, minParallelFrac)
+	}
+	return ""
 }
 
 // mostFractional picks the declared integer variable whose value is

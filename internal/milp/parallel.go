@@ -1,9 +1,13 @@
 package milp
 
 import (
+	"context"
 	"math"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lp"
 	"repro/internal/trace"
@@ -53,13 +57,15 @@ func (sh *shared) incumbent() float64 {
 }
 
 // install makes (obj, x) the incumbent if it improves on the current
-// one by more than the solver's comparison tolerance. x is copied.
-// worker attributes the resulting incumbent trace event.
-func (sh *shared) install(obj float64, x []float64, worker int) {
+// one by more than the solver's comparison tolerance, reporting whether
+// it became the authoritative incumbent (so callers can record the
+// install). x is copied. worker attributes the resulting incumbent
+// trace event.
+func (sh *shared) install(obj float64, x []float64, worker int) bool {
 	for {
 		old := sh.incBits.Load()
 		if obj >= math.Float64frombits(old)-1e-9 {
-			return
+			return false
 		}
 		if sh.incBits.CompareAndSwap(old, math.Float64bits(obj)) {
 			break
@@ -76,6 +82,7 @@ func (sh *shared) install(obj float64, x []float64, worker int) {
 	if improved {
 		sh.emitProgress(trace.KindIncumbent, worker, 0)
 	}
+	return improved
 }
 
 // best returns the final incumbent pair (nil X when none was found).
@@ -162,12 +169,15 @@ type fix struct {
 }
 
 // subproblem is an unexplored subtree handed to a worker: the branching
-// prefix that defines it and its parent LP bound (already ceil-rounded
-// when the objective is integral), used for best-bound aggregation when
-// the search stops early.
+// prefix that defines it, its parent LP bound (already ceil-rounded
+// when the objective is integral) used for best-bound aggregation when
+// the search stops early, and the recorder node id of the split-phase
+// node it was collected at, so the worker's pickup re-solve appears as
+// that node's child in a recording.
 type subproblem struct {
-	fixes []fix
-	bound float64
+	fixes  []fix
+	bound  float64
+	parent int64
 }
 
 // splitFactor subproblems per worker keeps the queue long enough that
@@ -180,7 +190,7 @@ const splitFactor = 4
 // them, pruning against the shared incumbent. Called with the root LP
 // already solved to optimality; res.BestBound holds the root bound and
 // is tightened here when the search is stopped early.
-func (s *solver) solveParallel(res *Result) {
+func (s *solver) solveParallel(res *Result, rootMeta nodeMeta) {
 	workers := s.opt.Parallelism
 	target := workers * splitFactor
 	depth := 1
@@ -190,7 +200,7 @@ func (s *solver) solveParallel(res *Result) {
 	var subs []subproblem
 	s.splitDepth = depth
 	s.collect = &subs
-	s.branch(lp.StatusOptimal, 0)
+	s.branch(lp.StatusOptimal, 0, rootMeta)
 	s.collect = nil
 	if s.reason != reasonNone || len(subs) == 0 {
 		// a limit hit during the split, or the split alone finished the
@@ -203,7 +213,7 @@ func (s *solver) solveParallel(res *Result) {
 	ws := make([]*solver, workers)
 	for w := range ws {
 		ws[w] = &solver{
-			lps:      s.lps.Clone(),
+			lps:      s.lps.Clone(), // clone carries Prof: workers share the profile
 			prob:     s.prob,
 			opt:      s.opt,
 			ctx:      s.ctx,
@@ -211,6 +221,8 @@ func (s *solver) solveParallel(res *Result) {
 			sh:       s.sh,
 			brancher: forkBrancher(s.brancher),
 			worker:   w + 1,
+			rec:      s.rec,
+			prof:     s.prof,
 		}
 		ws[w].observer = observerOf(ws[w].brancher)
 	}
@@ -219,55 +231,10 @@ func (s *solver) solveParallel(res *Result) {
 		wg.Add(1)
 		go func(w *solver) {
 			defer wg.Done()
-			// re-anchor at the root-optimal basis before every
-			// subproblem: cheaper than a fresh Clone and it discards
-			// any numerical drift from the previous subtree
-			snap := w.lps.Snapshot()
-			for {
-				if s.sh.stopRequested() != reasonNone {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= len(subs) {
-					return
-				}
-				if s.sh.tr != nil {
-					s.sh.tr.Emit(trace.Event{Kind: trace.KindWorker,
-						Worker: w.worker, Subproblem: i + 1,
-						Nodes: s.sh.nodes.Load(), Msg: "pickup"})
-				}
-				sp := subs[i]
-				w.lps.Restore(snap)
-				for _, f := range sp.fixes {
-					w.lps.SetBound(f.col, f.val, f.val)
-				}
-				cst := w.lps.ReOptimize()
-				w.branch(cst, len(sp.fixes))
-				if w.reason != reasonNone {
-					s.sh.requestStop(w.reason)
-					return
-				}
-				completed[i].Store(true)
-				if s.sh.tr != nil {
-					// the proved bound is min over still-open subproblem
-					// bounds, clamped to the incumbent; the ratchet keeps
-					// the streamed sequence monotone (open-min only grows
-					// as subproblems finish, and the incumbent can never
-					// fall below a valid proved bound).
-					open := math.Inf(1)
-					for j := range subs {
-						if !completed[j].Load() && subs[j].bound < open {
-							open = subs[j].bound
-						}
-					}
-					if inc := s.sh.incumbent(); open > inc {
-						open = inc
-					}
-					if s.sh.raiseBound(open) {
-						s.sh.emitProgress(trace.KindBound, w.worker, i+1)
-					}
-				}
-			}
+			// label the goroutine so CPU profiles slice by worker
+			pprof.Do(s.ctx, pprof.Labels("tp_worker", strconv.Itoa(w.worker)), func(context.Context) {
+				w.drain(subs, &next, completed)
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -290,6 +257,78 @@ func (s *solver) solveParallel(res *Result) {
 		}
 		if !math.IsInf(open, 1) && open > res.BestBound {
 			res.BestBound = open
+		}
+	}
+}
+
+// drain is a parallel worker's main loop: claim the next subproblem,
+// re-anchor the cloned LP at the root basis, replay the branching
+// prefix and explore the subtree.
+func (w *solver) drain(subs []subproblem, next *atomic.Int64, completed []atomic.Bool) {
+	// re-anchor at the root-optimal basis before every
+	// subproblem: cheaper than a fresh Clone and it discards
+	// any numerical drift from the previous subtree
+	snap := w.lps.Snapshot()
+	for {
+		if w.sh.stopRequested() != reasonNone {
+			return
+		}
+		i := int(next.Add(1)) - 1
+		if i >= len(subs) {
+			return
+		}
+		if w.sh.tr != nil {
+			w.sh.tr.Emit(trace.Event{Kind: trace.KindWorker,
+				Worker: w.worker, Subproblem: i + 1,
+				Nodes: w.sh.nodes.Load(), Msg: "pickup"})
+		}
+		sp := subs[i]
+		w.lps.Restore(snap)
+		for _, f := range sp.fixes {
+			w.lps.SetBound(f.col, f.val, f.val)
+		}
+		m := nodeMeta{parent: sp.parent, col: -1}
+		if n := len(sp.fixes); n > 0 {
+			m.col = int32(sp.fixes[n-1].col)
+			if sp.fixes[n-1].val >= 0.5 {
+				m.dir = 1
+			}
+		}
+		var t0 time.Time
+		var piv0 int
+		if w.prof != nil {
+			t0, piv0 = time.Now(), w.lps.Iterations
+		}
+		cst := w.lps.ReOptimize()
+		if w.prof != nil {
+			m.ns = time.Since(t0).Nanoseconds()
+			m.pivots = int64(w.lps.Iterations - piv0)
+			w.prof.Observe(trace.PhaseNodeLP, m.ns)
+		}
+		w.branch(cst, len(sp.fixes), m)
+		if w.reason != reasonNone {
+			w.sh.requestStop(w.reason)
+			return
+		}
+		completed[i].Store(true)
+		if w.sh.tr != nil {
+			// the proved bound is min over still-open subproblem
+			// bounds, clamped to the incumbent; the ratchet keeps
+			// the streamed sequence monotone (open-min only grows
+			// as subproblems finish, and the incumbent can never
+			// fall below a valid proved bound).
+			open := math.Inf(1)
+			for j := range subs {
+				if !completed[j].Load() && subs[j].bound < open {
+					open = subs[j].bound
+				}
+			}
+			if inc := w.sh.incumbent(); open > inc {
+				open = inc
+			}
+			if w.sh.raiseBound(open) {
+				w.sh.emitProgress(trace.KindBound, w.worker, i+1)
+			}
 		}
 	}
 }

@@ -9,7 +9,12 @@ package service
 //	POST   /v1/jobs             asynchronous submit, returns the job record
 //	GET    /v1/jobs/{id}        job status + result
 //	DELETE /v1/jobs/{id}        cooperative cancellation
-//	GET    /v1/jobs/{id}/events live solve progress as Server-Sent Events
+//	GET    /v1/jobs/{id}/events live solve progress as Server-Sent Events;
+//	                            honors Last-Event-ID for resume
+//	GET    /v1/jobs/{id}/recording
+//	                            flight-recorder capture of a job
+//	                            submitted with options.record (NDJSON;
+//	                            ?gz=1 for the gzipped form)
 //	GET    /v1/metrics          Prometheus text exposition
 //	GET    /v1/stats            aggregate metrics snapshot (JSON)
 //	GET    /v1/healthz          liveness
@@ -30,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // NewHandler mounts the service's HTTP API on a fresh mux.
@@ -45,6 +51,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.job)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
+	mux.HandleFunc("GET /v1/jobs/{id}/recording", a.recording)
 
 	// deprecated unversioned aliases
 	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", a.healthz))
@@ -147,11 +154,16 @@ func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
 
 // events streams the job's solve trace as Server-Sent Events: one
 // event per trace.Event, the event name set to the kind, the id to the
-// event's position in the job's stream, the data to the JSON encoding.
-// The stream ends when the job reaches a terminal state (the final
-// "job" event is sent first) or the client disconnects. Sampled node
-// events carry the incumbent objective, the proved bound, the relative
-// gap and the node count, so `curl -N` renders live solver progress.
+// event's 1-based absolute position in the job's stream, the data to
+// the JSON encoding. A reconnecting client sends the standard
+// Last-Event-ID header (the browser EventSource does this
+// automatically) and the stream resumes after that position — events
+// still held by the ring are replayed, events that aged out of the
+// bounded ring are lost, never duplicated. The stream ends when the
+// job reaches a terminal state (the final "job" event is sent first)
+// or the client disconnects. Sampled node events carry the incumbent
+// objective, the proved bound, the relative gap and the node count, so
+// `curl -N` renders live solver progress.
 func (a *api) events(w http.ResponseWriter, r *http.Request) {
 	ring, err := a.s.Events(r.PathValue("id"))
 	if err != nil {
@@ -169,7 +181,14 @@ func (a *api) events(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// SSE ids are the ring's absolute event indices, so Last-Event-ID
+	// parses directly into the resume cursor for Since.
 	var cursor uint64
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if v, perr := strconv.ParseUint(last, 10, 64); perr == nil {
+			cursor = v
+		}
+	}
 	for {
 		// take the wait channel BEFORE draining: an event emitted
 		// between Since and Wait would otherwise be missed until the
@@ -183,7 +202,7 @@ func (a *api) events(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n",
-				next-uint64(len(evs)-i), e.Kind, data)
+				next-uint64(len(evs)-1-i), e.Kind, data)
 		}
 		if len(evs) > 0 {
 			flusher.Flush()
@@ -201,6 +220,32 @@ func (a *api) events(w http.ResponseWriter, r *http.Request) {
 		case <-wait:
 		}
 	}
+}
+
+// recording serves a finished job's flight-recorder capture: NDJSON by
+// default, the gzipped wire form with ?gz=1 (the decoder auto-detects
+// either). 404s distinguish an unknown job from a job that has no
+// recording (not submitted with options.record, or not finished yet).
+func (a *api) recording(w http.ResponseWriter, r *http.Request) {
+	rec, err := a.s.Recording(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no_recording",
+			"job has no recording: submit with options.record and wait for it to finish")
+		return
+	}
+	gz := r.URL.Query().Get("gz") == "1"
+	if gz {
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", r.PathValue("id")+".ndjson.gz"))
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	_ = rec.Encode(w, gz)
 }
 
 // statusClientClosedRequest is nginx's non-standard 499 "client closed

@@ -1,0 +1,315 @@
+package service
+
+// End-to-end tests of the flight-recorder surface: record-mode jobs,
+// the /v1/jobs/{id}/recording download in both wire forms, SSE resume
+// via Last-Event-ID, and the per-phase histograms on /v1/metrics.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestV1RecordingDownload drives a record-mode job end to end: submit
+// with options.record, wait for completion, download the capture in
+// both the NDJSON and gzipped forms, and decode each back into the
+// same search tree.
+func TestV1RecordingDownload(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer closeBounded(t, s)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	// no prime heuristic: force a real branch-and-bound tree so the
+	// recording has nodes beyond the root
+	req := fastRequest()
+	req.Options.PrimeHeuristic = false
+	req.Options.Record = true
+
+	var job JobInfo
+	postV1(t, ts.URL+"/v1/jobs", req, http.StatusAccepted, &job)
+	info := waitFinished(t, s, job.ID, 30*time.Second)
+	if info.Status != StatusDone {
+		t.Fatalf("job finished %s: %s", info.Status, info.Error)
+	}
+	if info.CacheHit {
+		t.Fatal("record-mode job reported a cache hit; it must run fresh")
+	}
+
+	fetch := func(suffix string, wantCT string) *trace.Recording {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/recording" + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("recording%s: status %d: %s", suffix, resp.StatusCode, b)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != wantCT {
+			t.Fatalf("recording%s: Content-Type %q, want %q", suffix, ct, wantCT)
+		}
+		rec, err := trace.DecodeRecording(resp.Body)
+		if err != nil {
+			t.Fatalf("decoding recording%s: %v", suffix, err)
+		}
+		return rec
+	}
+
+	plain := fetch("", "application/x-ndjson")
+	gzipped := fetch("?gz=1", "application/gzip")
+
+	if len(plain.Nodes) == 0 {
+		t.Fatal("recording has no nodes")
+	}
+	if plain.Nodes[0].ID != 1 || plain.Nodes[0].Parent != 0 {
+		t.Fatalf("first node is %+v, want the root (id 1, parent 0)", plain.Nodes[0])
+	}
+	if plain.Status == "" || plain.WallNS <= 0 {
+		t.Fatalf("footer incomplete: status %q wall %d", plain.Status, plain.WallNS)
+	}
+	if len(plain.Incumbents) == 0 {
+		t.Fatal("recording has no incumbents for a feasible solve")
+	}
+	if len(plain.Phases) == 0 {
+		t.Fatal("recording footer carries no phase attribution")
+	}
+	for _, ph := range plain.Phases {
+		if _, ok := trace.ParsePhase(ph.Name); !ok {
+			t.Fatalf("footer phase %q not in the taxonomy", ph.Name)
+		}
+	}
+
+	// both wire forms decode to the identical tree
+	if len(gzipped.Nodes) != len(plain.Nodes) {
+		t.Fatalf("gzip decode: %d nodes, plain %d", len(gzipped.Nodes), len(plain.Nodes))
+	}
+	for i := range plain.Nodes {
+		if plain.Nodes[i] != gzipped.Nodes[i] {
+			t.Fatalf("node %d differs between wire forms:\nplain %+v\ngzip  %+v",
+				i, plain.Nodes[i], gzipped.Nodes[i])
+		}
+	}
+
+	// the produced result is still cached: an identical unrecorded
+	// request must be served as a cache hit
+	req2 := fastRequest()
+	req2.Options.PrimeHeuristic = false
+	var job2 JobInfo
+	postV1(t, ts.URL+"/v1/jobs", req2, http.StatusAccepted, &job2)
+	info2 := waitFinished(t, s, job2.ID, 30*time.Second)
+	if !info2.CacheHit {
+		t.Error("identical unrecorded request missed the cache after a recorded solve")
+	}
+}
+
+// TestV1RecordingNotFound checks the 404 split: unknown job vs. a real
+// job that has no recording.
+func TestV1RecordingNotFound(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer closeBounded(t, s)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	get := func(id string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/recording")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env errorEnvelope
+		b, _ := io.ReadAll(resp.Body)
+		if err := json.Unmarshal(b, &env); err != nil {
+			t.Fatalf("decoding error body %q: %v", b, err)
+		}
+		return resp.StatusCode, env.Error.Code
+	}
+
+	if code, ec := get("nosuch"); code != http.StatusNotFound || ec != "not_found" {
+		t.Fatalf("unknown job: %d/%s, want 404/not_found", code, ec)
+	}
+
+	var job JobInfo
+	postV1(t, ts.URL+"/v1/jobs", fastRequest(), http.StatusAccepted, &job)
+	waitFinished(t, s, job.ID, 30*time.Second)
+	if code, ec := get(job.ID); code != http.StatusNotFound || ec != "no_recording" {
+		t.Fatalf("unrecorded job: %d/%s, want 404/no_recording", code, ec)
+	}
+}
+
+// sseEvent is one parsed Server-Sent Event frame.
+type sseEvent struct {
+	id   uint64
+	kind string
+	data string
+}
+
+// readSSE consumes an event stream to EOF, returning the frames.
+func readSSE(t *testing.T, body io.Reader) []sseEvent {
+	t.Helper()
+	var (
+		evs []sseEvent
+		cur sseEvent
+	)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			v, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.id = v
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[len("data: "):]
+		case line == "":
+			if cur.kind != "" || cur.data != "" {
+				evs = append(evs, cur)
+			}
+			cur = sseEvent{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestV1EventsLastEventIDResume checks the SSE resume contract: ids are
+// the 1-based absolute stream positions, and a reconnect carrying
+// Last-Event-ID receives exactly the events after that position.
+func TestV1EventsLastEventIDResume(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer closeBounded(t, s)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	req := fastRequest()
+	req.Options.PrimeHeuristic = false
+	var job JobInfo
+	postV1(t, ts.URL+"/v1/jobs", req, http.StatusAccepted, &job)
+
+	stream := func(lastEventID string) []sseEvent {
+		t.Helper()
+		hreq, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+job.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastEventID != "" {
+			hreq.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events: status %d", resp.StatusCode)
+		}
+		return readSSE(t, resp.Body)
+	}
+
+	full := stream("")
+	if len(full) < 3 {
+		t.Fatalf("need a few events to exercise resume, got %d", len(full))
+	}
+	for i, e := range full {
+		if e.id != uint64(i+1) {
+			t.Fatalf("event %d has id %d, want the absolute position %d", i, e.id, i+1)
+		}
+	}
+
+	// the job is finished, so the ring is closed and replays from any
+	// cursor; resume from the middle and expect exactly the tail
+	mid := full[len(full)/2]
+	resumed := stream(strconv.FormatUint(mid.id, 10))
+	want := full[len(full)/2+1:]
+	if len(resumed) != len(want) {
+		t.Fatalf("resume after id %d returned %d events, want %d", mid.id, len(resumed), len(want))
+	}
+	for i := range want {
+		if resumed[i].id != want[i].id || resumed[i].kind != want[i].kind || resumed[i].data != want[i].data {
+			t.Fatalf("resumed event %d = %+v, want %+v", i, resumed[i], want[i])
+		}
+	}
+
+	// a junk Last-Event-ID degrades to a full replay, never an error
+	if junk := stream("not-a-number"); len(junk) != len(full) {
+		t.Fatalf("junk Last-Event-ID: %d events, want the full %d", len(junk), len(full))
+	}
+}
+
+// TestV1MetricsPhaseHistograms checks that a fresh solve populates the
+// tpserve_phase_seconds histograms on /v1/metrics with well-formed
+// cumulative buckets.
+func TestV1MetricsPhaseHistograms(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer closeBounded(t, s)
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	req := fastRequest()
+	req.Options.PrimeHeuristic = false
+	var job JobInfo
+	postV1(t, ts.URL+"/v1/jobs", req, http.StatusAccepted, &job)
+	waitFinished(t, s, job.ID, 30*time.Second)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	for _, want := range []string{
+		"# TYPE tpserve_phase_seconds histogram",
+		`tpserve_phase_seconds_bucket{phase="node-lp",le="+Inf"}`,
+		`tpserve_phase_seconds_count{phase="node-lp"}`,
+		`tpserve_phase_seconds_sum{phase="node-lp"}`,
+		`tpserve_phase_seconds_bucket{phase="pricing"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// the JSON stats expose the same phases; node-lp must dominate its
+	// LP-internal children in total time
+	st := s.Stats()
+	var nodeLP, pricing int64
+	for _, ph := range st.Phases {
+		switch ph.Name {
+		case trace.PhaseNodeLP.String():
+			nodeLP = ph.SumNS
+		case trace.PhasePricing.String():
+			pricing = ph.SumNS
+		}
+		if ph.Count <= 0 {
+			t.Errorf("phase %s has count %d", ph.Name, ph.Count)
+		}
+	}
+	if nodeLP == 0 {
+		t.Fatal("no node-lp time attributed after a fresh solve")
+	}
+	if pricing > nodeLP {
+		t.Fatalf("pricing %dns exceeds its parent node-lp %dns", pricing, nodeLP)
+	}
+}

@@ -104,14 +104,23 @@ type SolveOptions struct {
 	// core.Options.TimeLimit, which never crosses the API as
 	// nanoseconds.
 	TimeLimitMS int64 `json:"time_limit_ms,omitempty"`
+	// Record attaches a search-tree flight recorder to the solve. A
+	// recorded job always runs fresh — it bypasses the result cache and
+	// singleflight deduplication, since a shared or cached result has no
+	// recording of its own — and the capture is downloadable from
+	// GET /v1/jobs/{id}/recording once the job finishes. The produced
+	// result is still cached for later unrecorded requests.
+	Record bool `json:"record,omitempty"`
 }
 
 // instance is a compiled request: the validated core instance and
-// options plus the canonical dedup/cache key.
+// options plus the canonical dedup/cache key. record marks a request
+// that must run fresh under a flight recorder.
 type instance struct {
-	inst core.Instance
-	opt  core.Options
-	key  string
+	inst   core.Instance
+	opt    core.Options
+	key    string
+	record bool
 }
 
 // compile parses and validates the request. The default timeout fills
@@ -141,7 +150,12 @@ func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) 
 		return nil, err
 	}
 	opt := r.Options.Options
-	opt.Trace = nil // tracing is attached per job by the service
+	// observability hooks are attached per job by the service, never
+	// taken from the wire (the JSON tags hide them, but a Go caller
+	// could have set the pointers directly)
+	opt.Trace = nil
+	opt.Record = nil
+	opt.Profile = nil
 	opt.Tightened = opt.Tightened || !r.Options.Base
 	if r.Options.Fortet {
 		opt.Linearization = core.LinFortet
@@ -157,8 +171,9 @@ func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) 
 		return nil, err
 	}
 	ci := &instance{
-		inst: core.Instance{Graph: g, Alloc: alloc, Device: dev},
-		opt:  opt,
+		inst:   core.Instance{Graph: g, Alloc: alloc, Device: dev},
+		opt:    opt,
+		record: r.Options.Record,
 	}
 	if err := ci.inst.Validate(); err != nil {
 		return nil, err
@@ -170,13 +185,17 @@ func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) 
 // canonicalKey hashes the full instance identity — graph, exploration
 // set, device parameters (N, L, Ms, C, alpha) and solver options —
 // over canonical serializations, so textual variations of the same
-// request (whitespace, map order) collapse to one key. Parallelism is
-// deliberately excluded: a parallel solve returns the same result as a
-// serial one, so requests differing only in worker count deduplicate
-// and share cache entries.
+// request (whitespace, map order) collapse to one key. Parallelism and
+// ParallelThreshold are deliberately excluded: a parallel solve returns
+// the same result as a serial one, so requests differing only in worker
+// count or gating deduplicate and share cache entries.
 func canonicalKey(g *graph.Graph, alloc *library.Allocation, dev library.Device, opt core.Options) string {
 	opt.Parallelism = 0
-	opt.Trace = nil // a per-job tracer must not perturb the identity
+	opt.ParallelThreshold = 0
+	// per-job observability must not perturb the identity
+	opt.Trace = nil
+	opt.Record = nil
+	opt.Profile = nil
 	h := sha256.New()
 	fmt.Fprintf(h, "graph:%s\n", g.String())
 	fmt.Fprintf(h, "alloc:%s\n", alloc.String())

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -119,10 +120,13 @@ type job struct {
 	cacheHit           bool
 	result             *core.Result
 	err                error
-	cancelCh           chan struct{}
-	cancelOnce         sync.Once
-	done               chan struct{}
-	index              int // heap index; -1 when not queued
+	// recording is the search-tree capture of a record-mode job, set
+	// when its solve finishes and served by GET /v1/jobs/{id}/recording.
+	recording  *trace.Recording
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+	done       chan struct{}
+	index      int // heap index; -1 when not queued
 	// events buffers this job's solve events for live streaming
 	// (GET /v1/jobs/{id}/events). Fed by the flight's fanout while the
 	// solve runs; closed by finalizeLocked after the terminal job
@@ -162,6 +166,13 @@ type Service struct {
 	doneOrder []string // finished job IDs, oldest first, for eviction
 	stats     counters
 
+	// prof aggregates per-phase solver wall time across every fresh
+	// solve for GET /v1/metrics. Its buckets are atomic, so it is
+	// attached to concurrent solves directly; recorded jobs use a
+	// private profile that is merged in afterwards so their recording
+	// footer stays per-job.
+	prof *trace.Profile
+
 	wg sync.WaitGroup
 }
 
@@ -173,6 +184,7 @@ func New(cfg Config) *Service {
 		jobs:    make(map[string]*job),
 		flights: make(map[string]*flight),
 		cache:   newLRUCache(cfg.CacheSize),
+		prof:    trace.NewProfile(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -289,11 +301,14 @@ func (s *Service) Solve(ctx context.Context, req *Request) (JobInfo, error) {
 	}
 }
 
-// Stats returns a snapshot of the aggregate metrics.
+// Stats returns a snapshot of the aggregate metrics, including the
+// per-phase solver wall-time histograms accumulated over fresh solves.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats.snapshot(s.cfg.Workers, s.queue.Len(), s.running, len(s.flights), s.cache.len())
+	st := s.stats.snapshot(s.cfg.Workers, s.queue.Len(), s.running, len(s.flights), s.cache.len())
+	st.Phases = s.prof.Snapshot()
+	return st
 }
 
 // Close stops accepting jobs and drains the pool: queued jobs still
@@ -364,8 +379,14 @@ func (s *Service) worker() {
 }
 
 // run executes one job: result cache, then singleflight join, then a
-// fresh solve as the flight leader.
+// fresh solve as the flight leader. Record-mode jobs skip the cache and
+// the flight map entirely — a shared or cached result has no recording
+// — and run their own fresh solve.
 func (s *Service) run(j *job) {
+	if j.req.record {
+		s.runRecorded(j)
+		return
+	}
 	key := j.req.key
 	s.mu.Lock()
 	if res, ok := s.cache.get(key); ok {
@@ -437,7 +458,8 @@ func (s *Service) run(j *job) {
 
 	op := j.req.opt
 	op.Trace = trace.New(f.fanout)
-	res, err := core.SolveInstanceContext(ctx, j.req.inst, op)
+	op.Profile = s.prof // aggregate phase attribution for /v1/metrics
+	res, err := s.solveLabeled(ctx, j, op)
 	close(watchStop)
 
 	s.mu.Lock()
@@ -465,6 +487,85 @@ func (s *Service) run(j *job) {
 	s.mu.Unlock()
 	cancel()
 	close(f.done)
+}
+
+// runRecorded executes a record-mode job: always a fresh solve with a
+// flight recorder and a private phase profile attached. The result is
+// still published to the result cache (it is exactly what an unrecorded
+// request would compute), but no flight is registered, so concurrent
+// identical jobs neither join nor reuse this solve.
+func (s *Service) runRecorded(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchStop := make(chan struct{})
+	go func() {
+		select {
+		case <-j.cancelCh:
+			s.mu.Lock()
+			s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+			s.mu.Unlock()
+			cancel()
+		case <-watchStop:
+		}
+	}()
+
+	rec := trace.NewRecorder(0)
+	rec.SetLabel(j.req.inst.Graph.Name)
+	prof := trace.NewProfile()
+	op := j.req.opt
+	op.Trace = trace.New(j.events)
+	op.Record = rec
+	op.Profile = prof
+	s.mu.Lock()
+	s.stats.cacheMisses++
+	s.mu.Unlock()
+	res, err := s.solveLabeled(ctx, j, op)
+	close(watchStop)
+
+	s.mu.Lock()
+	s.prof.Merge(prof) // fold the per-job phases into /v1/metrics
+	j.recording = rec.Snapshot()
+	if res != nil {
+		s.stats.nodes += uint64(res.Nodes)
+		s.stats.pivots += uint64(res.LPIterations)
+	}
+	if err == nil && res != nil && !res.Cancelled {
+		s.cache.add(j.req.key, res)
+	}
+	if j.status == StatusRunning {
+		switch {
+		case err != nil:
+			s.finalizeLocked(j, nil, err, StatusFailed)
+		case res.Cancelled:
+			s.finalizeLocked(j, res, context.Canceled, StatusCancelled)
+		default:
+			s.finalizeLocked(j, res, nil, StatusDone)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// solveLabeled runs the core solve with pprof labels identifying the
+// job and graph, so CPU profiles of the service slice by job.
+func (s *Service) solveLabeled(ctx context.Context, j *job, op core.Options) (res *core.Result, err error) {
+	labels := pprof.Labels("tp_job", j.id, "tp_graph", j.req.inst.Graph.Name)
+	pprof.Do(ctx, labels, func(ctx context.Context) {
+		res, err = core.SolveInstanceContext(ctx, j.req.inst, op)
+	})
+	return res, err
+}
+
+// Recording returns the search-tree capture of a finished record-mode
+// job. ErrUnknownJob for unknown ids; a nil recording means the job was
+// not submitted with record or has not finished its solve yet.
+func (s *Service) Recording(id string) (*trace.Recording, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j.recording, nil
 }
 
 // finalizeLocked moves a job to a terminal status and updates the

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // counters accumulates service-lifetime metrics. Guarded by Service.mu.
@@ -66,6 +67,12 @@ type Stats struct {
 	MaxQueueWaitMS   float64 `json:"max_queue_wait_ms"`
 	TotalSolveMS     float64 `json:"total_solve_ms"`
 	MaxSolveMS       float64 `json:"max_solve_ms"`
+
+	// Phases are the per-phase solver wall-time histograms (node-lp,
+	// probe, pricing, ratio-test, ...) aggregated over every fresh
+	// solve; see trace.Phase for the taxonomy. Served as native
+	// histograms on /v1/metrics.
+	Phases []trace.PhaseStat `json:"phases,omitempty"`
 }
 
 func (c *counters) snapshot(workers, queued, running, inFlight, cached int) Stats {
@@ -118,6 +125,36 @@ func (st Stats) WritePrometheus(w io.Writer) {
 	gauge("tpserve_queue_wait_seconds_max", "Largest observed queue wait.", st.MaxQueueWaitMS/1000)
 	counter("tpserve_solve_seconds_total", "Cumulative solve wall time.", st.TotalSolveMS/1000)
 	gauge("tpserve_solve_seconds_max", "Largest observed solve wall time.", st.MaxSolveMS/1000)
+	if len(st.Phases) > 0 {
+		st.writePhaseHistograms(w)
+	}
+}
+
+// writePhaseHistograms renders the per-phase wall-time attribution as
+// one Prometheus histogram per phase, labeled {phase="..."}. The
+// trace.Hist buckets are powers of two in nanoseconds; each bucket pow
+// becomes a cumulative le bound of 2^pow ns expressed in seconds.
+func (st Stats) writePhaseHistograms(w io.Writer) {
+	const name = "tpserve_phase_seconds"
+	fmt.Fprintf(w, "# HELP %s Solver wall time by phase (see trace.Phase taxonomy).\n# TYPE %s histogram\n", name, name)
+	for _, ph := range st.Phases {
+		cum := int64(0)
+		for _, b := range ph.Buckets {
+			cum += b.N
+			// bucket b holds durations in [2^(pow-1), 2^pow) ns
+			le := float64(int64(1)<<uint(b.Pow)) / 1e9
+			fmt.Fprintf(w, "%s_bucket{phase=%q,le=%q} %d\n", name, ph.Name, trimFloat(le), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", name, ph.Name, ph.Count)
+		fmt.Fprintf(w, "%s_sum{phase=%q} %g\n", name, ph.Name, float64(ph.SumNS)/1e9)
+		fmt.Fprintf(w, "%s_count{phase=%q} %d\n", name, ph.Name, ph.Count)
+	}
+}
+
+// trimFloat formats a le bound compactly (Prometheus compares le values
+// textually across scrapes, so the encoding must be stable).
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
 }
 
 // JobInfo is the JSON view of a job's state.

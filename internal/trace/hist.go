@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log-2 buckets of a Hist. Bucket 0 counts
+// zero-duration observations; bucket k counts durations in
+// [2^(k-1), 2^k) nanoseconds, so the last bucket's upper edge is
+// 2^(histBuckets-1) ns ≈ 1.6 days — far beyond any solve this stack
+// runs.
+const histBuckets = 48
+
+// Hist is a log-bucketed duration histogram with lock-free atomic
+// buckets, so parallel branch-and-bound workers can share one instance
+// and record into it concurrently. Observations are nanosecond
+// durations; the bucket of a value v is bits.Len64(v), i.e. buckets
+// double in width.
+type Hist struct {
+	count atomic.Int64
+	sum   atomic.Int64 // nanoseconds
+	b     [histBuckets]atomic.Int64
+}
+
+// Observe records one duration of ns nanoseconds. Negative values are
+// clamped to zero. Safe for concurrent use.
+func (h *Hist) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.b[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Merge adds o's contents into h. Safe under concurrent Observe calls
+// on either side: the per-bucket adds are atomic, so a concurrent
+// snapshot may see a partially-merged state but never a corrupted one.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := range o.b {
+		if n := o.b[i].Load(); n != 0 {
+			h.b[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// SumNS returns the total observed nanoseconds.
+func (h *Hist) SumNS() int64 { return h.sum.Load() }
+
+// HistBucket is one non-empty bucket of a histogram snapshot: all
+// observations v with bits.Len64(v) == Pow, i.e. v < 2^Pow ns (and
+// v >= 2^(Pow-1) for Pow > 0).
+type HistBucket struct {
+	Pow int   `json:"pow"`
+	N   int64 `json:"n"`
+}
+
+// Buckets returns the non-empty buckets in increasing Pow order.
+func (h *Hist) Buckets() []HistBucket {
+	var out []HistBucket
+	for i := range h.b {
+		if n := h.b[i].Load(); n != 0 {
+			out = append(out, HistBucket{Pow: i, N: n})
+		}
+	}
+	return out
+}

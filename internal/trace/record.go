@@ -1,0 +1,363 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// recordVersion is the codec version stamped into the header line.
+// Decoders accept only versions they know.
+const recordVersion = 1
+
+// DefaultRecordLimit bounds the nodes kept by a Recorder when the
+// caller passes no limit of its own. The recorder keeps the FIRST limit
+// nodes — the lineage prefix rooted at the search root — and counts the
+// rest as dropped, so a bounded recording is always a connected tree.
+const DefaultRecordLimit = 1 << 16
+
+// NodeRec is one recorded branch-and-bound node: the full search
+// lineage (id/parent/branching edge), the LP outcome and bounds at the
+// node, and the cost of solving it. IDs are the solver's global
+// explored-node counter (1-based, the root is 1), so they are unique
+// across parallel workers; under a parallel solve a subproblem handed
+// to a worker is re-solved at pickup and appears as a child of its
+// split-time node.
+type NodeRec struct {
+	ID     int64 `json:"id"`
+	Parent int64 `json:"parent,omitempty"`
+	Worker int32 `json:"worker,omitempty"`
+	Depth  int32 `json:"depth,omitempty"`
+	// Col and Dir describe the branching edge from Parent: the fixed
+	// column and the value (0 or 1) it was fixed to. Col is -1 at the
+	// root and at parallel pickup re-entries with an empty fix prefix.
+	Col int32 `json:"col"`
+	Dir int8  `json:"dir,omitempty"`
+	// LP is the node's LP status string (lp.Status.String()).
+	LP string `json:"lp,omitempty"`
+	// Obj is the node's LP objective, valid when HasObj (optimal LP).
+	Obj    float64 `json:"obj,omitempty"`
+	HasObj bool    `json:"has_obj,omitempty"`
+	// Best is the global proved bound and Inc the incumbent objective
+	// observed at node entry (HasInc reports whether one existed).
+	Best   float64 `json:"best,omitempty"`
+	Inc    float64 `json:"inc,omitempty"`
+	HasInc bool    `json:"has_inc,omitempty"`
+	// Pivots and NS are the simplex pivots and wall nanoseconds spent
+	// solving this node's LP relaxation.
+	Pivots int64 `json:"pivots,omitempty"`
+	NS     int64 `json:"ns,omitempty"`
+	// TMS is the time since recording started, in milliseconds.
+	TMS float64 `json:"t_ms,omitempty"`
+}
+
+// IncRec marks an incumbent install: the node that produced it, the
+// objective and the time since recording started.
+type IncRec struct {
+	Node int64   `json:"node"`
+	Obj  float64 `json:"obj"`
+	TMS  float64 `json:"t_ms,omitempty"`
+}
+
+// Recorder is the search-tree flight recorder: a bounded, in-memory
+// collector of NodeRec lineage and incumbent marks that snapshots into
+// a Recording. A nil *Recorder is the valid "off" state — every method
+// has a nil-receiver guard and the disabled path performs no allocation
+// (guarded by testing.AllocsPerRun in this package's tests) — so the
+// branch-and-bound hot loop gates on a single pointer compare exactly
+// like the Tracer.
+//
+// A Recorder is safe for concurrent use by parallel workers; recording
+// serializes on one mutex, which is acceptable because recording is an
+// explicitly-requested diagnostic mode, never the default path.
+type Recorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	label   string
+	limit   int
+	nodes   []NodeRec
+	incs    []IncRec
+	dropped int64
+	prof    *Profile
+
+	// terminal state, set once by Finalize
+	status string
+	wallNS int64
+	total  int64
+	pivots int64
+}
+
+// NewRecorder returns a recorder keeping at most limit nodes;
+// limit <= 0 means DefaultRecordLimit.
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultRecordLimit
+	}
+	return &Recorder{start: time.Now(), limit: limit}
+}
+
+// Enabled reports whether the recorder is active; nil receivers return
+// false. This is the hot-path guard.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetLabel names the recording (graph name, job id). No-op on nil.
+func (r *Recorder) SetLabel(s string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.label = s
+	r.mu.Unlock()
+}
+
+// SetProfile attaches the phase profile whose snapshot lands in the
+// recording's footer. No-op on nil.
+func (r *Recorder) SetProfile(p *Profile) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.prof = p
+	r.mu.Unlock()
+}
+
+// Profile returns the attached phase profile (nil on a nil recorder).
+func (r *Recorder) Profile() *Profile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.prof
+}
+
+// Node records one explored node, stamping its TMS. Past the node
+// limit the record is counted as dropped instead — keeping the first
+// nodes preserves the lineage prefix around the root, which is what
+// replay analysis needs. No-op on a nil recorder.
+func (r *Recorder) Node(n NodeRec) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.nodes) >= r.limit {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	n.TMS = float64(time.Since(r.start)) / float64(time.Millisecond)
+	r.nodes = append(r.nodes, n)
+	r.mu.Unlock()
+}
+
+// Incumbent marks an incumbent install produced by node. Incumbent
+// marks are never dropped: they are rare and carry the convergence
+// story. No-op on a nil recorder.
+func (r *Recorder) Incumbent(node int64, obj float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.incs = append(r.incs, IncRec{
+		Node: node, Obj: obj,
+		TMS: float64(time.Since(r.start)) / float64(time.Millisecond),
+	})
+	r.mu.Unlock()
+}
+
+// Finalize stamps the terminal solve outcome: status string, wall
+// time, total explored nodes (which may exceed the recorded count when
+// the limit dropped some) and total LP pivots. No-op on nil.
+func (r *Recorder) Finalize(status string, wall time.Duration, nodes, pivots int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.status = status
+	r.wallNS = int64(wall)
+	r.total = nodes
+	r.pivots = pivots
+	r.mu.Unlock()
+}
+
+// Snapshot copies the current state into an immutable Recording. Safe
+// to call while the solve is still running (a partial recording) and
+// returns nil on a nil recorder.
+func (r *Recorder) Snapshot() *Recording {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := &Recording{
+		Label:      r.label,
+		Nodes:      append([]NodeRec(nil), r.nodes...),
+		Incumbents: append([]IncRec(nil), r.incs...),
+		Dropped:    r.dropped,
+		Status:     r.status,
+		WallNS:     r.wallNS,
+		TotalNodes: r.total,
+		Pivots:     r.pivots,
+		Phases:     r.prof.Snapshot(),
+	}
+	return rec
+}
+
+// Recording is an immutable search-tree recording: the decoded (or
+// snapshotted) form of the NDJSON codec. It is what cmd/tpreplay and
+// internal/viz consume.
+type Recording struct {
+	Label      string
+	Nodes      []NodeRec
+	Incumbents []IncRec
+	// Dropped counts nodes beyond the recorder's limit (explored but
+	// not recorded); TotalNodes and Pivots are the solve-wide totals
+	// from the footer.
+	Dropped    int64
+	Status     string
+	WallNS     int64
+	TotalNodes int64
+	Pivots     int64
+	Phases     []PhaseStat
+}
+
+// recLine is one NDJSON line of the codec: a kind tag plus exactly one
+// payload. Header carries the version and label, node/inc stream the
+// search, footer carries the terminal summary and phase histograms. A
+// recording is: one hdr, any number of node/inc lines, one ftr.
+type recLine struct {
+	RK string     `json:"rk"`
+	H  *recHdr    `json:"h,omitempty"`
+	N  *NodeRec   `json:"n,omitempty"`
+	I  *IncRec    `json:"i,omitempty"`
+	F  *recFooter `json:"f,omitempty"`
+}
+
+type recHdr struct {
+	V     int    `json:"v"`
+	Label string `json:"label,omitempty"`
+}
+
+type recFooter struct {
+	Status  string      `json:"status,omitempty"`
+	WallNS  int64       `json:"wall_ns,omitempty"`
+	Nodes   int64       `json:"nodes,omitempty"`
+	Pivots  int64       `json:"pivots,omitempty"`
+	Dropped int64       `json:"dropped,omitempty"`
+	Phases  []PhaseStat `json:"phases,omitempty"`
+}
+
+// Encode writes the recording as NDJSON, gzip-compressed when compress
+// is set. The plain form is line-oriented JSON for ad-hoc tooling; the
+// compressed form is the compact interchange format (DecodeRecording
+// auto-detects which one it is reading).
+func (rec *Recording) Encode(w io.Writer, compress bool) error {
+	if compress {
+		zw := gzip.NewWriter(w)
+		if err := rec.encodePlain(zw); err != nil {
+			zw.Close()
+			return err
+		}
+		return zw.Close()
+	}
+	return rec.encodePlain(w)
+}
+
+func (rec *Recording) encodePlain(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	line := recLine{RK: "hdr", H: &recHdr{V: recordVersion, Label: rec.Label}}
+	if err := enc.Encode(line); err != nil {
+		return err
+	}
+	for i := range rec.Nodes {
+		if err := enc.Encode(recLine{RK: "node", N: &rec.Nodes[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range rec.Incumbents {
+		if err := enc.Encode(recLine{RK: "inc", I: &rec.Incumbents[i]}); err != nil {
+			return err
+		}
+	}
+	f := &recFooter{
+		Status: rec.Status, WallNS: rec.WallNS, Nodes: rec.TotalNodes,
+		Pivots: rec.Pivots, Dropped: rec.Dropped, Phases: rec.Phases,
+	}
+	if err := enc.Encode(recLine{RK: "ftr", F: f}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeRecording reads a recording written by Encode, auto-detecting
+// gzip compression from the stream's magic bytes. A missing footer
+// (e.g. a truncated capture of a crashed solve) is tolerated: the nodes
+// read so far are returned with zero terminal fields.
+func DecodeRecording(r io.Reader) (*Recording, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, zerr := gzip.NewReader(br)
+		if zerr != nil {
+			return nil, fmt.Errorf("trace: opening gzip recording: %w", zerr)
+		}
+		defer zr.Close()
+		return decodePlain(zr)
+	}
+	return decodePlain(br)
+}
+
+func decodePlain(r io.Reader) (*Recording, error) {
+	dec := json.NewDecoder(r)
+	rec := &Recording{}
+	sawHdr := false
+	for {
+		var line recLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: decoding recording: %w", err)
+		}
+		switch line.RK {
+		case "hdr":
+			if line.H == nil {
+				return nil, fmt.Errorf("trace: recording header without payload")
+			}
+			if line.H.V != recordVersion {
+				return nil, fmt.Errorf("trace: unsupported recording version %d (want %d)", line.H.V, recordVersion)
+			}
+			rec.Label = line.H.Label
+			sawHdr = true
+		case "node":
+			if line.N != nil {
+				rec.Nodes = append(rec.Nodes, *line.N)
+			}
+		case "inc":
+			if line.I != nil {
+				rec.Incumbents = append(rec.Incumbents, *line.I)
+			}
+		case "ftr":
+			if line.F != nil {
+				rec.Status = line.F.Status
+				rec.WallNS = line.F.WallNS
+				rec.TotalNodes = line.F.Nodes
+				rec.Pivots = line.F.Pivots
+				rec.Dropped = line.F.Dropped
+				rec.Phases = line.F.Phases
+			}
+		default:
+			// unknown line kinds are skipped so minor-version additions
+			// stay readable by old decoders
+		}
+	}
+	if !sawHdr {
+		return nil, fmt.Errorf("trace: not a recording (no header line)")
+	}
+	return rec, nil
+}

@@ -26,6 +26,8 @@ import (
 //	node      — sampled branch-and-bound progress (every SampleEvery nodes)
 //	incumbent — a new best integer-feasible solution was installed
 //	bound     — the proved lower bound moved (parallel best-bound ratchet)
+//	plan      — the solver chose its search strategy (parallel vs. the
+//	            serial fallback of the root-size gate); Msg explains why
 //	worker    — a parallel worker picked up a subproblem
 //	status    — terminal branch-and-bound outcome with LP counters
 //	result    — terminal core-level outcome (after extraction/verification)
@@ -39,6 +41,7 @@ const (
 	KindNode      Kind = "node"
 	KindIncumbent Kind = "incumbent"
 	KindBound     Kind = "bound"
+	KindPlan      Kind = "plan"
 	KindWorker    Kind = "worker"
 	KindStatus    Kind = "status"
 	KindResult    Kind = "result"

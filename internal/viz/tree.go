@@ -1,0 +1,150 @@
+package viz
+
+// Search-tree rendering: a flight recording from internal/trace drawn
+// as a Graphviz DOT digraph — one node per recorded branch-and-bound
+// node, one edge per branching decision. Incumbent-producing nodes are
+// doubled, pruned/infeasible nodes grayed, so `dot -Tsvg` gives the
+// search-tree pictures MILP papers draw by hand.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// WriteSearchDOT renders the recording's search tree as a DOT digraph.
+// Node ids in the output are "n<id>"; the label carries the LP status,
+// the objective (when the LP solved) and the solve cost. Edges are
+// labeled with the branching decision x<col>=<dir> taken from parent to
+// child; parallel pickup re-entries (no single branching edge) get a
+// dashed edge instead. Nodes that produced an incumbent are drawn with
+// a double border.
+func WriteSearchDOT(w io.Writer, rec *trace.Recording) error {
+	if rec == nil {
+		return fmt.Errorf("viz: nil recording")
+	}
+	bw := &errWriter{w: w}
+
+	incAt := map[int64]float64{}
+	for _, inc := range rec.Incumbents {
+		incAt[inc.Node] = inc.Obj
+	}
+
+	label := rec.Label
+	if label == "" {
+		label = "search"
+	}
+	bw.printf("digraph %q {\n", dotID(label))
+	bw.printf("  rankdir=TB;\n")
+	bw.printf("  node [shape=box, fontsize=10, fontname=\"Helvetica\"];\n")
+	bw.printf("  edge [fontsize=9, fontname=\"Helvetica\"];\n")
+	bw.printf("  label=%s;\n  labelloc=t;\n", dotQuote(treeCaption(rec)))
+
+	// stable output: nodes are recorded in exploration order already,
+	// but a decoded recording could have been concatenated — sort by id
+	nodes := make([]trace.NodeRec, len(rec.Nodes))
+	copy(nodes, rec.Nodes)
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a].ID < nodes[b].ID })
+
+	for _, n := range nodes {
+		attrs := []string{"label=" + dotQuote(nodeCaption(n))}
+		switch {
+		case strings.Contains(n.LP, "infeasible"):
+			attrs = append(attrs, "style=filled", "fillcolor=\"#eeeeee\"", "color=\"#999999\"")
+		case n.HasObj:
+			attrs = append(attrs, "style=filled", "fillcolor=\"#cfe3ff\"", "color=\"#3069b0\"")
+		}
+		if _, ok := incAt[n.ID]; ok {
+			attrs = append(attrs, "peripheries=2", "penwidth=1.5")
+		}
+		bw.printf("  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}
+	for _, n := range nodes {
+		if n.Parent == 0 {
+			continue
+		}
+		if n.Col < 0 {
+			// parallel pickup: the worker re-enters at a subproblem whose
+			// fix prefix is not a single edge
+			bw.printf("  n%d -> n%d [style=dashed, label=\"w%d pickup\"];\n",
+				n.Parent, n.ID, n.Worker)
+			continue
+		}
+		bw.printf("  n%d -> n%d [label=\"x%d=%d\"];\n", n.Parent, n.ID, n.Col, n.Dir)
+	}
+	bw.printf("}\n")
+	return bw.err
+}
+
+// treeCaption summarizes the recording for the graph title.
+func treeCaption(rec *trace.Recording) string {
+	var b strings.Builder
+	if rec.Label != "" {
+		fmt.Fprintf(&b, "%s: ", rec.Label)
+	}
+	fmt.Fprintf(&b, "%d nodes", rec.TotalNodes)
+	if rec.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d beyond the recording limit)", rec.Dropped)
+	}
+	if rec.Status != "" {
+		fmt.Fprintf(&b, ", %s", rec.Status)
+	}
+	if rec.WallNS > 0 {
+		fmt.Fprintf(&b, ", %.1f ms", float64(rec.WallNS)/1e6)
+	}
+	return b.String()
+}
+
+// nodeCaption is the multi-line DOT label of one node.
+func nodeCaption(n trace.NodeRec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d d%d", n.ID, n.Depth)
+	if n.Worker > 0 {
+		fmt.Fprintf(&b, " w%d", n.Worker)
+	}
+	b.WriteString("\\n")
+	if n.HasObj {
+		fmt.Fprintf(&b, "lp %.4g", n.Obj)
+	} else if n.LP != "" {
+		b.WriteString(n.LP)
+	}
+	if n.Pivots > 0 {
+		fmt.Fprintf(&b, "\\n%d piv", n.Pivots)
+	}
+	return b.String()
+}
+
+// dotQuote wraps s in DOT double quotes, escaping only the quote
+// character: backslash sequences like \n are DOT line-break escapes
+// built by the caption builders and must pass through verbatim (%q
+// would double-escape them).
+func dotQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// dotID sanitizes a label for use as a quoted DOT identifier.
+func dotID(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\\' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// errWriter latches the first write error so the render loop stays
+// unconditional.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// treeFixture is a small hand-built recording: a root, two serial
+// children (one infeasible), and a parallel pickup re-entry, with one
+// incumbent.
+func treeFixture() *trace.Recording {
+	return &trace.Recording{
+		Label: "fixture",
+		Nodes: []trace.NodeRec{
+			{ID: 1, Col: -1, LP: "optimal", Obj: 3.5, HasObj: true, Pivots: 12},
+			{ID: 2, Parent: 1, Depth: 1, Col: 7, Dir: 1, LP: "optimal", Obj: 4, HasObj: true, Pivots: 3},
+			{ID: 3, Parent: 1, Depth: 1, Col: 7, Dir: 0, LP: "infeasible"},
+			{ID: 4, Parent: 2, Worker: 2, Depth: 2, Col: -1, LP: "optimal", Obj: 4, HasObj: true},
+		},
+		Incumbents: []trace.IncRec{{Node: 4, Obj: 4}},
+		Status:     "optimal",
+		WallNS:     1_500_000,
+		TotalNodes: 4,
+		Pivots:     15,
+	}
+}
+
+// TestWriteSearchDOT checks the rendered digraph structurally: one DOT
+// node per recorded node, one edge per lineage link, branch labels on
+// serial edges, dashed pickup edges, incumbent double borders.
+func TestWriteSearchDOT(t *testing.T) {
+	rec := treeFixture()
+	var buf bytes.Buffer
+	if err := WriteSearchDOT(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+
+	if !strings.HasPrefix(dot, `digraph "fixture" {`) {
+		t.Fatalf("missing digraph header:\n%s", dot)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("digraph not closed")
+	}
+	for _, want := range []string{
+		"n1 [", "n2 [", "n3 [", "n4 [", // every node declared
+		`n1 -> n2 [label="x7=1"]`, // branch edge with decision
+		`n1 -> n3 [label="x7=0"]`,
+		`n2 -> n4 [style=dashed, label="w2 pickup"]`, // parallel re-entry
+		"peripheries=2",                              // incumbent highlight
+		"4 nodes",                                    // caption totals
+		"optimal",                                    // caption status
+		`fillcolor="#ee`,                             // infeasible gray
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if n := strings.Count(dot, "->"); n != 3 {
+		t.Errorf("edge count = %d, want 3", n)
+	}
+}
+
+// TestSearchDOTRoundTrip checks that a recording encoded through the
+// wire codec and decoded back renders the identical DOT document — the
+// tree survives the codec byte for byte.
+func TestSearchDOTRoundTrip(t *testing.T) {
+	rec := treeFixture()
+
+	var direct bytes.Buffer
+	if err := WriteSearchDOT(&direct, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, compress := range []bool{false, true} {
+		var wire bytes.Buffer
+		if err := rec.Encode(&wire, compress); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := trace.DecodeRecording(&wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replayed bytes.Buffer
+		if err := WriteSearchDOT(&replayed, decoded); err != nil {
+			t.Fatal(err)
+		}
+		if replayed.String() != direct.String() {
+			t.Errorf("compress=%v: DOT differs after codec round trip:\n--- direct ---\n%s\n--- replayed ---\n%s",
+				compress, direct.String(), replayed.String())
+		}
+	}
+}
+
+// TestWriteSearchDOTNil rejects a nil recording instead of writing a
+// broken document.
+func TestWriteSearchDOTNil(t *testing.T) {
+	if err := WriteSearchDOT(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil recording accepted")
+	}
+}
