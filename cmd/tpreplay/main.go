@@ -27,9 +27,10 @@ import (
 
 func main() {
 	var (
-		topK   = flag.Int("top", 10, "how many slowest nodes to list")
-		bounds = flag.Int("bounds", 20, "how many bound-convergence rows to print (0 disables)")
-		dotOut = flag.String("dot", "", "export the search tree as a Graphviz DOT file")
+		topK    = flag.Int("top", 10, "how many slowest nodes to list")
+		bounds  = flag.Int("bounds", 20, "how many bound-convergence rows to print (0 disables)")
+		dotOut  = flag.String("dot", "", "export the search tree as a Graphviz DOT file")
+		certify = flag.Bool("certify", false, "re-run the embedded exact certificate's checks offline and print them (exit 1 when absent, 3 when invalid)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,6 +47,9 @@ func main() {
 	printSlowest(rec, *topK)
 	if *bounds > 0 {
 		printBounds(rec, *bounds)
+	}
+	if *certify {
+		certifyRecording(rec)
 	}
 
 	if *dotOut != "" {
@@ -244,6 +248,34 @@ func printBounds(rec *trace.Recording, limit int) {
 			gap = fmt.Sprintf("%.2f%%", 100*(r.inc-r.bound)/r.inc)
 		}
 		fmt.Printf("  %8.1fms %8d %12s %12s %8s\n", r.tms, r.node, b, i, gap)
+	}
+}
+
+// certifyRecording re-runs the recording's embedded exact certificate
+// from scratch. Certificates are self-contained — a rational snapshot
+// of the problem plus the witnesses — so the checks here recompute the
+// attachment-time verdict with no access to the original model.
+func certifyRecording(rec *trace.Recording) {
+	cert := rec.Certificate
+	if cert == nil {
+		fail(fmt.Errorf("recording has no certificate: capture it with tpsyn -certify -record or a service job with options.certify+record"))
+	}
+	cert.Check() // re-verify offline; ignores the recorded verdict
+	fmt.Printf("\ncertificate: %s\n", cert.Summary())
+	fmt.Printf("  %-24s %-4s %s\n", "check", "ok", "detail")
+	for _, ch := range cert.Checks {
+		mark := "ok"
+		if !ch.OK {
+			mark = "FAIL"
+		}
+		fmt.Printf("  %-24s %-4s %s\n", ch.Name, mark, ch.Detail)
+	}
+	for _, tr := range cert.Trusted {
+		fmt.Printf("  trusted: %s\n", tr)
+	}
+	if !cert.Valid {
+		fmt.Fprintln(os.Stderr, "tpreplay: certificate INVALID — the recorded verdict failed exact re-verification")
+		os.Exit(3)
 	}
 }
 

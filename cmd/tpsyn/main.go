@@ -49,6 +49,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "branch-and-bound workers (0 or 1 = serial)")
 		traceOut = flag.String("trace", "", "stream solver events as NDJSON to this file (- for stderr)")
 		record   = flag.String("record", "", "capture the search tree as a flight recording to this file for cmd/tpreplay (gzipped when the name ends in .gz)")
+		certify  = flag.Bool("certify", false, "re-verify the verdict in exact rational arithmetic and print the certificate summary (exit 3 on a failed certificate)")
 		vhdl     = flag.Bool("vhdl", false, "emit per-segment RTL netlists")
 		sim      = flag.Bool("sim", false, "simulate the solution on the device model")
 		vcd      = flag.String("vcd", "", "write a VCD waveform of the simulated execution to this file")
@@ -89,6 +90,7 @@ func main() {
 		WPerProduct: *perProd,
 		TimeLimit:   *timeout,
 		Parallelism: *parallel,
+		Certify:     *certify,
 	}
 	opt.Linearization, err = core.ParseLinearization(*lin)
 	fail(err)
@@ -142,6 +144,27 @@ func main() {
 		fail(opt.Record.Snapshot().Encode(f, strings.HasSuffix(*record, ".gz")))
 		fail(f.Close())
 		fmt.Printf("record: search recording written to %s\n", *record)
+	}
+	if *certify {
+		// printed (and exit-coded) before the infeasible exit below:
+		// an infeasibility verdict is exactly what needs certifying
+		cert := res.Certificate
+		if cert == nil {
+			fmt.Println("certify: no certificate — the outcome carried nothing certifiable")
+		} else {
+			fmt.Printf("certify: %s\n", cert.Summary())
+			for _, ch := range cert.Checks {
+				mark := "ok"
+				if !ch.OK {
+					mark = "FAIL"
+				}
+				fmt.Printf("certify:   %-24s %-4s %s\n", ch.Name, mark, ch.Detail)
+			}
+			if !cert.Valid {
+				fmt.Fprintln(os.Stderr, "tpsyn: certificate INVALID — the solver's verdict failed exact re-verification")
+				os.Exit(3)
+			}
+		}
 	}
 	if !res.Feasible {
 		if res.Optimal {

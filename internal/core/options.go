@@ -239,6 +239,13 @@ type Options struct {
 	// by the service's canonical cache key — like Parallelism, it cannot
 	// change the reported solution.
 	ParallelThreshold int `json:"parallel_threshold,omitempty"`
+	// Certify enables the exact-arithmetic audit mode: the MILP verdict
+	// is re-verified in rational arithmetic (internal/exact) and the
+	// resulting certificate attached to Result.Certificate, the flight
+	// recording and the trace stream. Part of the wire form — a service
+	// job requesting certification is a different cache entry from the
+	// plain solve, so cached certified results keep their certificates.
+	Certify bool `json:"certify,omitempty"`
 	// Trace receives structured solve events (model shape, root bound,
 	// sampled node progress, incumbents, terminal status) when set.
 	// Nil disables tracing at zero cost. Never serialized, and ignored

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/exact"
 	"repro/internal/heuristic"
 	"repro/internal/lp"
 	"repro/internal/milp"
@@ -39,6 +40,12 @@ type Result struct {
 	LPIterations int
 	// Runtime is the solver wall-clock time.
 	Runtime time.Duration
+	// Certificate is the exact-arithmetic certificate of the MILP
+	// verdict, present when Options.Certify was set and the main search
+	// ran (the exact-sweep early path and the presolve-infeasible path
+	// never enter the MILP and carry none). Already checked; see
+	// Certificate.Valid / Err().
+	Certificate *exact.Certificate
 }
 
 // Solve runs branch and bound on the generated model with the
@@ -107,6 +114,7 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 		Trace:             m.Opt.Trace,
 		Record:            m.Opt.Record,
 		Profile:           m.Opt.Profile,
+		Certify:           m.Opt.Certify,
 	}
 	if !m.Opt.DisableProbe {
 		mopt.Probe = m.probe
@@ -181,6 +189,10 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 		Nodes:        sweepNodes + res.Nodes,
 		LPIterations: sweepPivots + res.LPIterations,
 		Runtime:      time.Since(solveStart), // includes sweep/settle time
+		Certificate:  res.Certificate,
+	}
+	if out.Certificate != nil {
+		out.Certificate.Label = m.Inst.Graph.Name
 	}
 	switch res.Status {
 	case milp.StatusInfeasible:

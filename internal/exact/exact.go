@@ -1,0 +1,248 @@
+// Package exact is the certification layer of the MILP pipeline: it
+// re-verifies solver verdicts in exact rational arithmetic
+// (math/big.Rat), independently of the floating-point tableau that
+// produced them.
+//
+// The package is deliberately dependency-free (standard library only)
+// so every layer — lp, milp, core, trace, service, the command-line
+// tools — can attach, serialize and re-check certificates without
+// import cycles. The bridge to the LP data model is the Source
+// interface, which *lp.Problem satisfies structurally.
+//
+// Everything a certificate needs is embedded in the certificate
+// itself: a rational snapshot of the problem data plus the witnesses
+// (incumbent point, dual multipliers, Farkas ray, terminal basis), so
+// a certificate decoded from a flight recording can be re-verified
+// offline, byte-for-byte, with no access to the original model.
+//
+// All numbers are serialized as exact rational strings ("3", "-7/2"),
+// with "inf"/"-inf" for unbounded sides: float64 -> big.Rat conversion
+// is exact, so no precision is lost in either direction.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+)
+
+// Source is the read-only view of a linear program the snapshotter
+// needs. *lp.Problem satisfies it; the indirection keeps this package
+// free of internal imports so trace and service can depend on it.
+type Source interface {
+	NumVars() int
+	NumRows() int
+	Obj(j int) float64
+	Bounds(j int) (lo, hi float64)
+	Row(i int) (idx []int, val []float64)
+	RowRange(i int) (lo, hi float64)
+}
+
+// Problem is the exact rational snapshot of an LP: objective,
+// variable bounds and rows, every number an exact rational string.
+type Problem struct {
+	Obj  []string `json:"obj"`
+	Lo   []string `json:"lo"`
+	Hi   []string `json:"hi"`
+	Rows []Row    `json:"rows"`
+}
+
+// Row is one range constraint Lo <= sum Val_k * x_{Idx_k} <= Hi.
+type Row struct {
+	Idx []int    `json:"idx"`
+	Val []string `json:"val"`
+	Lo  string   `json:"lo"`
+	Hi  string   `json:"hi"`
+}
+
+// Snapshot captures src exactly. The snapshot is self-contained: later
+// changes to src are not seen.
+func Snapshot(src Source) *Problem {
+	n, m := src.NumVars(), src.NumRows()
+	p := &Problem{
+		Obj:  make([]string, n),
+		Lo:   make([]string, n),
+		Hi:   make([]string, n),
+		Rows: make([]Row, m),
+	}
+	for j := 0; j < n; j++ {
+		p.Obj[j] = FloatString(src.Obj(j))
+		lo, hi := src.Bounds(j)
+		p.Lo[j], p.Hi[j] = FloatString(lo), FloatString(hi)
+	}
+	for i := 0; i < m; i++ {
+		idx, val := src.Row(i)
+		r := Row{Idx: append([]int(nil), idx...), Val: make([]string, len(val))}
+		for k, v := range val {
+			r.Val[k] = FloatString(v)
+		}
+		lo, hi := src.RowRange(i)
+		r.Lo, r.Hi = FloatString(lo), FloatString(hi)
+		p.Rows[i] = r
+	}
+	return p
+}
+
+// FloatString renders v as an exact rational string: big.Rat.SetFloat64
+// is exact for every finite float64, and the unbounded sides map to
+// "inf"/"-inf". NaN (which no healthy solve produces) renders as "nan"
+// and fails parsing, so it surfaces as a failed certificate check
+// rather than a silent zero.
+func FloatString(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	}
+	return new(big.Rat).SetFloat64(v).RatString()
+}
+
+// FloatVec converts a float vector with FloatString; nil in, nil out.
+func FloatVec(v []float64) []string {
+	if v == nil {
+		return nil
+	}
+	out := make([]string, len(v))
+	for i, x := range v {
+		out[i] = FloatString(x)
+	}
+	return out
+}
+
+// num is a parsed extended rational: a finite value (inf == 0) or an
+// infinity (inf == ±1, r nil).
+type num struct {
+	r   *big.Rat
+	inf int
+}
+
+func (v num) finite() bool { return v.inf == 0 }
+
+func (v num) String() string {
+	switch v.inf {
+	case 1:
+		return "inf"
+	case -1:
+		return "-inf"
+	}
+	return v.r.RatString()
+}
+
+func parseNum(s string) (num, error) {
+	switch strings.TrimSpace(s) {
+	case "inf", "+inf":
+		return num{inf: 1}, nil
+	case "-inf":
+		return num{inf: -1}, nil
+	}
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return num{}, fmt.Errorf("exact: not a rational: %q", s)
+	}
+	return num{r: r}, nil
+}
+
+// parsed is the in-memory rational form of a Problem, built once per
+// Check call.
+type parsed struct {
+	n    int
+	obj  []*big.Rat
+	lo   []num
+	hi   []num
+	rows []prow
+}
+
+type prow struct {
+	idx []int
+	val []*big.Rat
+	lo  num
+	hi  num
+}
+
+func (p *Problem) parse() (*parsed, error) {
+	n := len(p.Obj)
+	if len(p.Lo) != n || len(p.Hi) != n {
+		return nil, fmt.Errorf("exact: problem snapshot shape mismatch: %d obj, %d lo, %d hi", n, len(p.Lo), len(p.Hi))
+	}
+	out := &parsed{n: n, obj: make([]*big.Rat, n), lo: make([]num, n), hi: make([]num, n)}
+	for j := 0; j < n; j++ {
+		o, err := parseNum(p.Obj[j])
+		if err != nil || !o.finite() {
+			return nil, fmt.Errorf("exact: objective coefficient %d: %q", j, p.Obj[j])
+		}
+		out.obj[j] = o.r
+		if out.lo[j], err = parseNum(p.Lo[j]); err != nil {
+			return nil, err
+		}
+		if out.hi[j], err = parseNum(p.Hi[j]); err != nil {
+			return nil, err
+		}
+	}
+	out.rows = make([]prow, len(p.Rows))
+	for i, r := range p.Rows {
+		if len(r.Idx) != len(r.Val) {
+			return nil, fmt.Errorf("exact: row %d: %d indices vs %d values", i, len(r.Idx), len(r.Val))
+		}
+		pr := prow{idx: r.Idx, val: make([]*big.Rat, len(r.Val))}
+		for k, s := range r.Val {
+			v, err := parseNum(s)
+			if err != nil || !v.finite() {
+				return nil, fmt.Errorf("exact: row %d coefficient %d: %q", i, k, s)
+			}
+			if r.Idx[k] < 0 || r.Idx[k] >= n {
+				return nil, fmt.Errorf("exact: row %d references variable %d (have %d)", i, r.Idx[k], n)
+			}
+			pr.val[k] = v.r
+		}
+		var err error
+		if pr.lo, err = parseNum(r.Lo); err != nil {
+			return nil, err
+		}
+		if pr.hi, err = parseNum(r.Hi); err != nil {
+			return nil, err
+		}
+		out.rows[i] = pr
+	}
+	return out, nil
+}
+
+// parseVec parses a witness vector of rational strings.
+func parseVec(ss []string) ([]*big.Rat, error) {
+	out := make([]*big.Rat, len(ss))
+	for i, s := range ss {
+		v, err := parseNum(s)
+		if err != nil || !v.finite() {
+			return nil, fmt.Errorf("exact: witness entry %d: %q", i, s)
+		}
+		out[i] = v.r
+	}
+	return out, nil
+}
+
+// ceilRat returns ceil(v) as a rational (exact integer rounding toward
+// +infinity).
+func ceilRat(v *big.Rat) *big.Rat {
+	if v.IsInt() {
+		return new(big.Rat).Set(v)
+	}
+	q := new(big.Int).Quo(v.Num(), v.Denom())
+	// Quo truncates toward zero: for positive non-integers add one
+	if v.Sign() > 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return new(big.Rat).SetInt(q)
+}
+
+// snapRat returns the exact value of v snapped to the nearest integer
+// when v is within tol of it, and whether the snap applied.
+func snapRat(v float64, tol float64) (*big.Rat, bool) {
+	r := math.Round(v)
+	if math.Abs(v-r) <= tol {
+		return new(big.Rat).SetInt64(int64(r)), true
+	}
+	return new(big.Rat).SetFloat64(v), false
+}

@@ -147,13 +147,19 @@ func (p *Problem) presolveRow(r *row, res *PresolveResult) rowAction {
 		if a < 0 {
 			lo, hi = hi, lo
 		}
-		const eps = 1e-9
-		if lo > p.lo[j]+eps && !math.IsInf(lo, -1) {
+		// Significance threshold is the shared feasTol, NOT a private
+		// epsilon: propagation used to accept improvements down to 1e-9
+		// here while every other presolve step (and the simplex's own
+		// feasibility judgment) works at feasTol = 1e-7. Improvements in
+		// the gap between the two are below the solver's resolution and
+		// applying them just churned BoundsTightened and extra presolve
+		// rounds on changes the simplex cannot see.
+		if lo > p.lo[j]+feasTol && !math.IsInf(lo, -1) {
 			p.lo[j] = lo
 			res.BoundsTightened++
 			tightened = true
 		}
-		if hi < p.hi[j]-eps && !math.IsInf(hi, 1) {
+		if hi < p.hi[j]-feasTol && !math.IsInf(hi, 1) {
 			p.hi[j] = hi
 			res.BoundsTightened++
 			tightened = true
@@ -170,10 +176,10 @@ func (p *Problem) presolveRow(r *row, res *PresolveResult) rowAction {
 // an error when a binary variable's domain empties.
 func (p *Problem) TightenBinary(cols []int) error {
 	for _, j := range cols {
-		if p.lo[j] > 1e-9 {
+		if p.lo[j] > feasTol {
 			p.lo[j] = 1
 		}
-		if p.hi[j] < 1-1e-9 {
+		if p.hi[j] < 1-feasTol {
 			p.hi[j] = 0
 		}
 		if p.lo[j] > p.hi[j] {

@@ -73,6 +73,15 @@ func (p *Problem) RowName(i int) string { return p.rowNames[i] }
 // RowNNZ returns the number of nonzero coefficients in row i.
 func (p *Problem) RowNNZ(i int) int { return len(p.rows[i].idx) }
 
+// Row exposes the sparse coefficients of row i: column indices and
+// values, in ascending index order. The slices are the problem's own
+// storage — callers must treat them as read-only. Together with
+// NumVars/NumRows/Obj/Bounds/RowRange this makes *Problem satisfy the
+// exact-certification layer's Source interface.
+func (p *Problem) Row(i int) (idx []int, val []float64) {
+	return p.rows[i].idx, p.rows[i].val
+}
+
 // Bounds returns the bounds of variable j.
 func (p *Problem) Bounds(j int) (lo, hi float64) { return p.lo[j], p.hi[j] }
 

@@ -210,7 +210,6 @@ func (s *Solver) ratioPrimal(q int, sigma float64) (leave int, step float64, hit
 			room = 0
 		}
 		r := room / math.Abs(rate)
-		const tieTol = 1e-9
 		better := false
 		switch {
 		case r < step-tieTol:
@@ -221,7 +220,19 @@ func (s *Solver) ratioPrimal(q int, sigma float64) (leave int, step float64, hit
 			if s.bland {
 				better = s.basis[i] < s.basis[leave]
 			} else {
-				better = math.Abs(a) > bestPiv
+				// Tie: prefer a decisively larger pivot for stability,
+				// but when pivot magnitudes tie too, break toward the
+				// lowest basis index. Near-equal magnitudes must not
+				// decide — float noise in |a| would then order pivots
+				// differently in a cloned worker's re-updated tableau,
+				// and serial vs parallel solves would diverge.
+				aa := math.Abs(a)
+				switch {
+				case aa > bestPiv+tieTol:
+					better = true
+				case aa > bestPiv-tieTol:
+					better = s.basis[i] < s.basis[leave]
+				}
 			}
 		}
 		if better {
@@ -399,15 +410,23 @@ func (s *Solver) ratioDual(r int, below bool) int {
 			continue
 		}
 		ratio := math.Abs(s.d[j] / a)
-		const tieTol = 1e-9
 		if s.bland {
 			if q < 0 || ratio < bestRatio-tieTol {
 				q, bestRatio = j, ratio
 			}
 			continue
 		}
-		if ratio < bestRatio-tieTol || (ratio < bestRatio+tieTol && math.Abs(a) > bestPiv) {
-			q, bestRatio, bestPiv = j, ratio, math.Abs(a)
+		// Tie handling mirrors ratioPrimal: a tied ratio only displaces
+		// the incumbent on a decisively larger pivot magnitude; a
+		// near-equal magnitude keeps the earlier (lowest-index) column,
+		// so the selection is deterministic across serial and cloned
+		// tableaus that differ by float noise.
+		aa := math.Abs(a)
+		switch {
+		case ratio < bestRatio-tieTol:
+			q, bestRatio, bestPiv = j, ratio, aa
+		case ratio < bestRatio+tieTol && aa > bestPiv+tieTol:
+			q, bestRatio, bestPiv = j, ratio, aa
 		}
 	}
 	return q
@@ -429,6 +448,21 @@ func (s *Solver) ratioDual(r int, below bool) int {
 // negligible next to a single dense pivot.
 func (s *Solver) farkasCertified(r int) bool {
 	trow := s.tab[r*s.ntot : (r+1)*s.ntot]
+	if s.CaptureFarkas {
+		// keep the multipliers for exact offline replay (FarkasRay)
+		// even when the float check below rejects them: the exact
+		// replay is a strictly stronger judge — accumulated roundoff in
+		// w can spuriously widen the float interval (even to +-inf on
+		// free logicals) where the rational recomputation cancels
+		// exactly. optimize() clears the ray again if the verdict does
+		// not survive the retry. The capture-off path stays copy- and
+		// allocation-free.
+		if cap(s.farkasRay) < s.m {
+			s.farkasRay = make([]float64, s.m)
+		}
+		s.farkasRay = s.farkasRay[:s.m]
+		copy(s.farkasRay, trow[s.n:s.n+s.m])
+	}
 	if cap(s.fbuf) < s.ntot {
 		s.fbuf = make([]float64, s.ntot)
 	}

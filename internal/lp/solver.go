@@ -85,14 +85,6 @@ const (
 	atFree // nonbasic free variable pinned at 0
 )
 
-const (
-	feasTol  = 1e-7
-	optTol   = 1e-7
-	pivTol   = 1e-9
-	degTol   = 1e-9
-	degLimit = 400 // degenerate pivots before switching to Bland's rule
-)
-
 // Solver solves a Problem by bounded-variable simplex and supports
 // warm-started re-optimization after variable-bound changes, the
 // mechanism branch-and-bound relies on.
@@ -160,6 +152,14 @@ type Solver struct {
 	// Clones share the parent's profile — its histogram buckets are
 	// atomic, so parallel workers record into one profile safely.
 	Prof *trace.Profile
+	// CaptureFarkas, when set, makes a certified infeasibility verdict
+	// keep a copy of its row multipliers, retrievable via FarkasRay for
+	// exact offline replay. Off (the default) the verdict path performs
+	// no copies and no allocations; Clone deliberately does not
+	// propagate it, so certification of a root solve never taxes
+	// branch-and-bound workers.
+	CaptureFarkas bool
+	farkasRay     []float64
 }
 
 // NewSolver builds a solver for p. The problem must have at least one
@@ -413,6 +413,9 @@ func (s *Solver) ReOptimize() Status {
 // the pre-certification trust level of a cold solve, and keeps e.g.
 // near-tolerance pivots from looping the retry).
 func (s *Solver) optimize() Status {
+	if s.CaptureFarkas {
+		s.farkasRay = s.farkasRay[:0]
+	}
 	st := s.runSimplex()
 	if st == statusSuspect {
 		s.reset()
@@ -420,6 +423,11 @@ func (s *Solver) optimize() Status {
 		if st == statusSuspect {
 			st = StatusInfeasible
 		}
+	}
+	if s.CaptureFarkas && st != StatusInfeasible {
+		// a first-attempt suspect verdict may have captured a ray
+		// before the retry concluded differently; it must not leak
+		s.farkasRay = s.farkasRay[:0]
 	}
 	s.status = st
 	return st
@@ -528,6 +536,49 @@ func (s *Solver) Dual(i int) float64 {
 	// the logical variable of row i has cost 0 and column e_i, so its
 	// reduced cost is -y_i
 	return -s.d[s.n+i]
+}
+
+// FarkasRay returns a copy of the row multipliers behind the last
+// infeasibility verdict, or nil when the last solve did not end
+// infeasible or capture was off (see CaptureFarkas). The ray y proves
+// infeasibility through w = y^T [A | I]: interval-evaluating
+// sum_j w_j z_j over the bound box yields a range excluding 0. Rays
+// that failed the solver's own float-tolerance certification are still
+// returned — exact replay downstream is the stronger judge of whether
+// they prove anything.
+func (s *Solver) FarkasRay() []float64 {
+	if len(s.farkasRay) == 0 {
+		return nil
+	}
+	return append([]float64(nil), s.farkasRay...)
+}
+
+// Duals returns a copy of all row dual values at the current basis
+// (see Dual).
+func (s *Solver) Duals() []float64 {
+	y := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		y[i] = -s.d[s.n+i]
+	}
+	return y
+}
+
+// BasisRows returns a copy of the current basis: element r is the
+// variable (structural j < n, logical n+i for row i) basic in row r.
+func (s *Solver) BasisRows() []int {
+	return append([]int(nil), s.basis...)
+}
+
+// VarPositions returns the position of every variable in the current
+// basis partition, in the (structural ++ logical) ordering: 0 basic,
+// 1 at lower bound, 2 at upper bound, 3 nonbasic free. The encoding
+// matches the exact-certification layer's PosBasic..PosFree.
+func (s *Solver) VarPositions() []int8 {
+	out := make([]int8, s.ntot)
+	for j, st := range s.vstat {
+		out[j] = int8(st)
+	}
+	return out
 }
 
 // Residual returns the maximum violation of the original row equations

@@ -1,0 +1,32 @@
+package lp
+
+// The solver's single named tolerance set, shared by the simplex
+// engines and the presolver. Keeping one definition is a correctness
+// concern, not a style one: presolve used to tighten bounds against a
+// private 1e-9 epsilon while the simplex judged feasibility against
+// feasTol = 1e-7, so a bound improvement in the gap between the two was
+// applied by one component and invisible to the other (see
+// TestPresolveToleranceConsistency).
+const (
+	// feasTol is the primal feasibility tolerance: a point is accepted
+	// when every bound and row range is violated by at most feasTol.
+	// It is also the significance threshold for presolve bound
+	// tightening — improvements below it are noise to the simplex and
+	// must not be applied.
+	feasTol = 1e-7
+	// optTol is the dual feasibility (optimality) tolerance on reduced
+	// costs.
+	optTol = 1e-7
+	// pivTol is the smallest tableau entry admissible as a pivot.
+	pivTol = 1e-9
+	// degTol is the step length below which a pivot counts as
+	// degenerate.
+	degTol = 1e-9
+	// tieTol breaks ratio-test comparisons: candidates within tieTol of
+	// the best are ties, resolved deterministically (see ratioPrimal and
+	// ratioDual) so serial and cloned-worker solves pivot identically.
+	tieTol = 1e-9
+	// degLimit is the run of degenerate pivots tolerated before the
+	// engines switch to Bland's rule.
+	degLimit = 400
+)

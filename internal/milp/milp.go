@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/exact"
 	"repro/internal/lp"
 	"repro/internal/trace"
 )
@@ -167,6 +168,16 @@ type Options struct {
 	// farkas). The profile is shared by all parallel workers — its
 	// buckets are atomic. Nil keeps every clock read out of the loops.
 	Profile *trace.Profile
+	// Certify, when set, attaches an exact-arithmetic certificate of
+	// the verdict to Result.Certificate (and to the flight recording
+	// when Record is on): the incumbent is re-verified in rational
+	// arithmetic against the solver's own row data, a root infeasibility
+	// replays its Farkas certificate exactly, and the root LP bound is
+	// re-proved from the root duals (plus an exact basis certification
+	// on small models). See internal/exact for what is certified versus
+	// trusted. Off (the default) the solve paths perform no extra work
+	// and no allocations.
+	Certify bool
 	// ParallelThreshold gates Parallelism behind a cheap root-size
 	// estimate: when the root tableau has fewer than this many cells
 	// (rows × (rows + columns)), or GOMAXPROCS < 2, or the root LP has
@@ -196,6 +207,11 @@ type Result struct {
 	Runtime time.Duration
 	// BestBound is the proved lower bound on the optimum.
 	BestBound float64
+	// Certificate is the exact-arithmetic certificate of the verdict,
+	// present when Options.Certify was set and the outcome was
+	// certifiable (limit statuses without an incumbent carry none). It
+	// has already been checked; inspect Certificate.Valid / Err().
+	Certificate *exact.Certificate
 }
 
 // stopReason records why the search stopped early, so the final status
@@ -275,6 +291,10 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	// An infeasible root must keep its Farkas multipliers for the exact
+	// replay; turned back off after the root solve so tree nodes pay
+	// nothing (node infeasibility is pruning, not a shipped verdict).
+	lps.CaptureFarkas = opt.Certify
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -341,6 +361,9 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		res.Status = StatusInfeasible
 		res.Runtime = time.Since(start)
 		res.LPIterations = lps.Iterations
+		if opt.Certify {
+			s.attachCertificate(p, res, rootWitness{farkas: lps.FarkasRay()})
+		}
 		if s.rec.Enabled() {
 			s.rec.Node(trace.NodeRec{ID: 1, Col: -1, LP: "infeasible",
 				Pivots: rootMeta.pivots, NS: rootMeta.ns})
@@ -364,6 +387,18 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 			s.rec.Finalize(res.Status.String(), res.Runtime, 1, int64(res.LPIterations))
 		}
 		return res, nil
+	}
+	// Root witnesses for certification must be taken now: the search
+	// below re-optimizes lps in place (serial mode), so its terminal
+	// duals and basis describe the last node visited, not the root.
+	var rw rootWitness
+	if opt.Certify {
+		rw.duals = lps.Duals()
+		if p.NumRows() <= exact.BasisCertLimit {
+			rw.basis = lps.BasisRows()
+			rw.varPos = lps.VarPositions()
+		}
+		lps.CaptureFarkas = false // root is done; nodes don't capture
 	}
 	res.BestBound = lps.Objective()
 	s.sh.raiseBound(res.BestBound)
@@ -415,6 +450,9 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		} else if res.BestBound > incObj {
 			res.BestBound = incObj
 		}
+	}
+	if opt.Certify {
+		s.attachCertificate(p, res, rw)
 	}
 	if s.rec.Enabled() {
 		s.rec.Finalize(res.Status.String(), res.Runtime, int64(res.Nodes), int64(res.LPIterations))

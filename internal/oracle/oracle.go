@@ -6,6 +6,7 @@
 package oracle
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/graph"
@@ -19,6 +20,12 @@ const (
 	maxTasks = 6
 	maxOps   = 10
 )
+
+// ErrTooLarge is returned (wrapped) by Solve when the instance exceeds
+// the enumeration limits. Callers that feed generated instances — the
+// differential fuzzer in particular — match it with errors.Is to skip
+// oversized cases without string matching.
+var ErrTooLarge = errors.New("oracle: instance too large")
 
 // Result is the oracle's verdict.
 type Result struct {
@@ -35,7 +42,7 @@ type Result struct {
 // relaxation L, unit-latency operations.
 func Solve(g *graph.Graph, alloc *library.Allocation, dev library.Device, N, L int) (*Result, error) {
 	if g.NumTasks() > maxTasks || g.NumOps() > maxOps {
-		return nil, fmt.Errorf("oracle: instance too large (%d tasks, %d ops)", g.NumTasks(), g.NumOps())
+		return nil, fmt.Errorf("%w (%d tasks, %d ops)", ErrTooLarge, g.NumTasks(), g.NumOps())
 	}
 	w, err := sched.ComputeWindows(g, nil)
 	if err != nil {

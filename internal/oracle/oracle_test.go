@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/graph"
@@ -95,7 +96,11 @@ func TestSolveRejectsLargeInstances(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		g.AddOp(t0, graph.OpAdd, "")
 	}
-	if _, err := Solve(g, alloc111(t), library.XC4025(), 2, 1); err == nil {
+	_, err := Solve(g, alloc111(t), library.XC4025(), 2, 1)
+	if err == nil {
 		t.Fatal("oversized instance accepted")
+	}
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("size guard returned %v, want errors.Is(err, ErrTooLarge)", err)
 	}
 }

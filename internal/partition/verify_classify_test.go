@@ -1,0 +1,89 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/library"
+)
+
+// TestVerifyErrorClassification pins the failure CLASS each corruption
+// reports, not just that Verify rejects it: downstream callers (the
+// extraction audit in core, test triage, bug reports) read these
+// messages to tell a scheduling bug from a capacity bug from a
+// bookkeeping bug, so the classes are contract, not cosmetics.
+func TestVerifyErrorClassification(t *testing.T) {
+	g, alloc, dev := fixture(t)
+	cases := []struct {
+		name   string
+		mutate func(*Solution, *library.Device)
+		opt    VerifyOptions
+		want   string
+	}{
+		{"shape", func(s *Solution, _ *library.Device) { s.OpStep = s.OpStep[:2] },
+			VerifyOptions{}, "solution shape mismatch"},
+		{"segment range", func(s *Solution, _ *library.Device) { s.TaskPartition[0] = 3 },
+			VerifyOptions{}, "outside 1..2"},
+		{"task order", func(s *Solution, _ *library.Device) { s.TaskPartition[0] = 2; s.TaskPartition[1] = 1 },
+			VerifyOptions{}, "task order violated"},
+		{"boundary memory", func(s *Solution, d *library.Device) {
+			s.TaskPartition[1] = 2
+			s.Comm = 4
+			d.ScratchMem = 3 // the crossing edge stores 4 > Ms
+		}, VerifyOptions{}, "> Ms=3"},
+		{"op window", func(s *Solution, _ *library.Device) { s.OpStep[0] = 2 },
+			VerifyOptions{}, "outside window"},
+		{"invalid unit", func(s *Solution, _ *library.Device) { s.OpUnit[0] = 99 },
+			VerifyOptions{}, "invalid unit 99"},
+		{"incompatible unit", func(s *Solution, _ *library.Device) { s.OpUnit[0] = 1 },
+			VerifyOptions{}, "incompatible unit"},
+		{"dependency", func(s *Solution, _ *library.Device) { s.OpStep[0] = 2 },
+			VerifyOptions{L: 1}, "violated: steps"}, // a@2, b@2: both in window, order broken
+		{"capacity", func(_ *Solution, d *library.Device) { d.CapacityFG = 50 },
+			VerifyOptions{}, "> C=50"},
+		{"comm bookkeeping", func(s *Solution, _ *library.Device) { s.Comm = 99 },
+			VerifyOptions{}, "stored comm 99 != recomputed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, d := goodSolution(), dev
+			tc.mutate(s, &d)
+			err := Verify(g, alloc, d, s, tc.opt)
+			if err == nil {
+				t.Fatal("corrupted solution accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error class drifted:\n  got  %q\n  want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestVerifyUnitShareClassification: two same-kind ops on one unit at
+// one step is reported as unit sharing, distinct from the window and
+// dependency classes.
+func TestVerifyUnitShareClassification(t *testing.T) {
+	g := graph.New("c")
+	t0 := g.AddTask("t0")
+	g.AddOp(t0, graph.OpAdd, "")
+	g.AddOp(t0, graph.OpAdd, "")
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Solution{
+		N:             1,
+		TaskPartition: []int{1},
+		OpStep:        []int{1, 1},
+		OpUnit:        []int{0, 0},
+		Comm:          0,
+	}
+	verr := Verify(g, alloc, library.XC4025(), s, VerifyOptions{L: 1})
+	if verr == nil {
+		t.Fatal("unit conflict accepted")
+	}
+	if !strings.Contains(verr.Error(), "share unit") {
+		t.Fatalf("error class drifted: %q", verr)
+	}
+}

@@ -15,6 +15,9 @@ package service
 //	                            flight-recorder capture of a job
 //	                            submitted with options.record (NDJSON;
 //	                            ?gz=1 for the gzipped form)
+//	GET    /v1/jobs/{id}/certificate
+//	                            exact-arithmetic certificate of a job
+//	                            submitted with options.certify (JSON)
 //	GET    /v1/metrics          Prometheus text exposition
 //	GET    /v1/stats            aggregate metrics snapshot (JSON)
 //	GET    /v1/healthz          liveness
@@ -52,6 +55,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
 	mux.HandleFunc("GET /v1/jobs/{id}/recording", a.recording)
+	mux.HandleFunc("GET /v1/jobs/{id}/certificate", a.certificate)
 
 	// deprecated unversioned aliases
 	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", a.healthz))
@@ -246,6 +250,20 @@ func (a *api) recording(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	_ = rec.Encode(w, gz)
+}
+
+func (a *api) certificate(w http.ResponseWriter, r *http.Request) {
+	cert, err := a.s.Certificate(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	if cert == nil {
+		writeError(w, http.StatusNotFound, "no_certificate",
+			"job has no certificate: submit with options.certify and wait for it to finish")
+		return
+	}
+	writeJSON(w, http.StatusOK, cert)
 }
 
 // statusClientClosedRequest is nginx's non-standard 499 "client closed

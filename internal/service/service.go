@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exact"
 	"repro/internal/trace"
 )
 
@@ -566,6 +567,25 @@ func (s *Service) Recording(id string) (*trace.Recording, error) {
 		return nil, ErrUnknownJob
 	}
 	return j.recording, nil
+}
+
+// Certificate returns the exact-arithmetic certificate of a finished
+// certify-mode job. ErrUnknownJob for unknown ids; a nil certificate
+// means the job was not submitted with options.certify, has not
+// finished, or ended in a state with nothing certifiable. Certify is
+// part of the canonical cache key, so a cached result of a certified
+// solve carries its certificate too.
+func (s *Service) Certificate(id string) (*exact.Certificate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.result == nil {
+		return nil, nil
+	}
+	return j.result.Certificate, nil
 }
 
 // finalizeLocked moves a job to a terminal status and updates the

@@ -8,6 +8,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/exact"
 )
 
 // recordVersion is the codec version stamped into the header line.
@@ -89,6 +91,7 @@ type Recorder struct {
 	wallNS int64
 	total  int64
 	pivots int64
+	cert   *exact.Certificate
 }
 
 // NewRecorder returns a recorder keeping at most limit nodes;
@@ -184,6 +187,18 @@ func (r *Recorder) Finalize(status string, wall time.Duration, nodes, pivots int
 	r.mu.Unlock()
 }
 
+// SetCertificate attaches the exact certificate of the solve's verdict
+// so the recording is self-certifying: tpreplay -certify re-runs the
+// checks offline from the recording alone. No-op on nil.
+func (r *Recorder) SetCertificate(c *exact.Certificate) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cert = c
+	r.mu.Unlock()
+}
+
 // Snapshot copies the current state into an immutable Recording. Safe
 // to call while the solve is still running (a partial recording) and
 // returns nil on a nil recorder.
@@ -194,15 +209,16 @@ func (r *Recorder) Snapshot() *Recording {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rec := &Recording{
-		Label:      r.label,
-		Nodes:      append([]NodeRec(nil), r.nodes...),
-		Incumbents: append([]IncRec(nil), r.incs...),
-		Dropped:    r.dropped,
-		Status:     r.status,
-		WallNS:     r.wallNS,
-		TotalNodes: r.total,
-		Pivots:     r.pivots,
-		Phases:     r.prof.Snapshot(),
+		Label:       r.label,
+		Nodes:       append([]NodeRec(nil), r.nodes...),
+		Incumbents:  append([]IncRec(nil), r.incs...),
+		Dropped:     r.dropped,
+		Status:      r.status,
+		WallNS:      r.wallNS,
+		TotalNodes:  r.total,
+		Pivots:      r.pivots,
+		Phases:      r.prof.Snapshot(),
+		Certificate: r.cert,
 	}
 	return rec
 }
@@ -223,6 +239,11 @@ type Recording struct {
 	TotalNodes int64
 	Pivots     int64
 	Phases     []PhaseStat
+	// Certificate is the exact-arithmetic certificate of the recorded
+	// solve's verdict, when the solve ran in certify mode. All numbers
+	// inside are rational strings, so the recording stays re-checkable
+	// offline without the original model.
+	Certificate *exact.Certificate
 }
 
 // recLine is one NDJSON line of the codec: a kind tag plus exactly one
@@ -235,6 +256,9 @@ type recLine struct {
 	N  *NodeRec   `json:"n,omitempty"`
 	I  *IncRec    `json:"i,omitempty"`
 	F  *recFooter `json:"f,omitempty"`
+	// C carries the exact certificate ("cert" lines). An additive kind:
+	// old decoders skip unknown rk values, so the codec version stays 1.
+	C *exact.Certificate `json:"c,omitempty"`
 }
 
 type recHdr struct {
@@ -281,6 +305,11 @@ func (rec *Recording) encodePlain(w io.Writer) error {
 	}
 	for i := range rec.Incumbents {
 		if err := enc.Encode(recLine{RK: "inc", I: &rec.Incumbents[i]}); err != nil {
+			return err
+		}
+	}
+	if rec.Certificate != nil {
+		if err := enc.Encode(recLine{RK: "cert", C: rec.Certificate}); err != nil {
 			return err
 		}
 	}
@@ -342,6 +371,8 @@ func decodePlain(r io.Reader) (*Recording, error) {
 			if line.I != nil {
 				rec.Incumbents = append(rec.Incumbents, *line.I)
 			}
+		case "cert":
+			rec.Certificate = line.C
 		case "ftr":
 			if line.F != nil {
 				rec.Status = line.F.Status

@@ -46,6 +46,10 @@ const (
 	KindStatus    Kind = "status"
 	KindResult    Kind = "result"
 	KindJob       Kind = "job"
+	// KindCertificate reports the exact-arithmetic certification of a
+	// terminal verdict: Status carries the certificate kind
+	// (optimal/feasible/infeasible) and Msg its one-line summary.
+	KindCertificate Kind = "certificate"
 )
 
 // Family is the per-constraint-family slice of a model event: all rows
