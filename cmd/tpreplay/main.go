@@ -82,6 +82,10 @@ func printSummary(rec *trace.Recording) {
 		label = "(unlabeled)"
 	}
 	fmt.Printf("recording: %s\n", label)
+	if a := rec.Amend; a != nil {
+		fmt.Printf("amend:     gen %d of job %s (class=%s path=%s)\n",
+			a.Generation, a.Of, orUnknown(a.Class), orUnknown(a.Path))
+	}
 	fmt.Printf("status:    %s in %v\n", orUnknown(rec.Status), time.Duration(rec.WallNS).Round(time.Microsecond))
 	fmt.Printf("search:    %d nodes explored, %d recorded", rec.TotalNodes, len(rec.Nodes))
 	if rec.Dropped > 0 {

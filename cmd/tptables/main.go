@@ -8,6 +8,7 @@
 //	tptables -timeout 30s             # tighter per-row budget
 //	tptables -trace rows.ndjson       # stream solver events per row
 //	tptables -benchmilp BENCH_milp.json  # serial-vs-parallel B&B suite
+//	tptables -sweepbench BENCH_sweep.json  # warm-vs-cold α sweep
 package main
 
 import (
@@ -28,8 +29,9 @@ func main() {
 		table      = flag.String("table", "", "table to run: 1, 2, 3, 4, lin, branching, tighten (empty = all)")
 		timeout    = flag.Duration("timeout", experiments.DefaultTimeLimit, "per-row time limit")
 		benchmilp  = flag.String("benchmilp", "", "run the serial-vs-parallel branch-and-bound suite and write its JSON report to this file")
+		sweepbench = flag.String("sweepbench", "", "run the warm-vs-cold design-space sweep benchmark and write its JSON report to this file")
 		parallel   = flag.Int("parallel", 0, "worker count for -benchmilp (0 = GOMAXPROCS, min 2)")
-		trajectory = flag.String("trajectory", "", "append a dated distillation of the -benchmilp run to this JSON series (e.g. BENCH_trajectory.json)")
+		trajectory = flag.String("trajectory", "", "append a dated distillation of the -benchmilp or -sweepbench run to this JSON series (e.g. BENCH_trajectory.json)")
 		traceOut   = flag.String("trace", "", "stream solver events of every row as NDJSON to this file (- for stderr)")
 	)
 	flag.Parse()
@@ -41,8 +43,15 @@ func main() {
 		}
 		return
 	}
+	if *sweepbench != "" {
+		if err := runSweepBench(*sweepbench, *trajectory); err != nil {
+			fmt.Fprintln(os.Stderr, "tptables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *trajectory != "" {
-		fmt.Fprintln(os.Stderr, "tptables: -trajectory requires -benchmilp")
+		fmt.Fprintln(os.Stderr, "tptables: -trajectory requires -benchmilp or -sweepbench")
 		os.Exit(1)
 	}
 
@@ -125,6 +134,50 @@ func runBenchMILP(path, trajectory string, parallel int) error {
 			return err
 		}
 		fmt.Printf("benchmilp: trajectory entry for %s appended to %s\n", date, trajectory)
+	}
+	return nil
+}
+
+// runSweepBench runs the warm-vs-cold design-space sweep, prints the
+// per-point dispatch and timings and writes the machine-readable
+// report; with a trajectory path it also appends the dated
+// distillation to the series.
+func runSweepBench(path, trajectory string) error {
+	rep, err := experiments.RunSweepBench()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== sweepbench (GOMAXPROCS=%d, graph %s, N=%d L=%d)\n", rep.GOMAXPROCS, rep.Graph, rep.N, rep.L)
+	for _, p := range rep.Points {
+		fmt.Printf("alpha %.2f  warm %8v (%s)  cold %8v  comm %2d\n",
+			p.Alpha,
+			time.Duration(p.WarmNS).Round(time.Millisecond), p.Path,
+			time.Duration(p.ColdNS).Round(time.Millisecond), p.Comm)
+	}
+	fmt.Printf("total: warm %v vs cold %v — %.2fx (%d warm, %d reuse, %d cold)\n",
+		time.Duration(rep.WarmNS).Round(time.Millisecond),
+		time.Duration(rep.ColdNS).Round(time.Millisecond),
+		rep.Speedup, rep.Warm, rep.Reuse, rep.Cold)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("sweepbench: report written to %s\n", path)
+	if trajectory != "" {
+		date := time.Now().Format("2006-01-02")
+		if err := experiments.AppendSweepTrajectory(trajectory, date, rep); err != nil {
+			return err
+		}
+		fmt.Printf("sweepbench: trajectory entry for %s appended to %s\n", date, trajectory)
 	}
 	return nil
 }

@@ -223,7 +223,12 @@ func toSetInt(m map[int][]int) map[int]bool {
 }
 
 // addResourceCap emits eq. (11): alpha-scaled FG area of the units
-// used in each partition must fit the device.
+// used in each partition must fit the device. The row is emitted in
+// the equivalent divided form sum_k FG_k u_pk <= C/alpha (alpha > 0 by
+// Instance.Validate), keeping both device scalars off the coefficient
+// matrix: an alpha or capacity edit then changes only the row's range,
+// which the delta re-solve layer can apply to a live solver without a
+// refactorization.
 func (m *Model) addResourceCap() error {
 	alloc, dev := m.Inst.Alloc, m.Inst.Device
 	for p := 1; p <= m.N; p++ {
@@ -231,10 +236,10 @@ func (m *Model) addResourceCap() error {
 		var coefs []float64
 		for k := 0; k < alloc.NumUnits(); k++ {
 			cols = append(cols, m.U[[2]int{p, k}])
-			coefs = append(coefs, dev.Alpha*float64(alloc.Unit(k).Type.FG))
+			coefs = append(coefs, float64(alloc.Unit(k).Type.FG))
 		}
 		name := fmt.Sprintf("cap[p%d]", p)
-		if err := m.P.AddLE(name, cols, coefs, float64(dev.CapacityFG)); err != nil {
+		if err := m.P.AddLE(name, cols, coefs, float64(dev.CapacityFG)/dev.Alpha); err != nil {
 			return err
 		}
 	}

@@ -56,6 +56,14 @@ type Model struct {
 	topoRank []int
 	// stats snapshots the generated model size before any presolve.
 	stats lp.Stats
+	// presolved / presolveInfeasible record the one-shot outcome of
+	// ApplyPresolve so SolveContext and the delta layer can both
+	// trigger it without running the passes twice.
+	presolved          bool
+	presolveInfeasible bool
+	// warm holds re-solve artifacts installed with SetWarm (nil for a
+	// cold solve).
+	warm *Warm
 	// probeCache memoizes exact-schedule results per task assignment.
 	// Guarded by probeMu: under Options.Parallelism > 1 every branch-
 	// and-bound worker probes (and branches) concurrently. Concurrent

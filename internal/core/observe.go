@@ -53,6 +53,13 @@ func (m *Model) emitModelEvent() {
 	})
 }
 
+// EmitResult reports a terminal core-level outcome on the configured
+// tracer. SolveContext emits its own result; the export exists for the
+// delta layer's conclusion-reuse path, which produces a Result without
+// entering SolveContext but still owes the job trace its terminal
+// result event.
+func (m *Model) EmitResult(res *Result) { m.emitResult(res) }
+
 // emitResult reports the terminal core-level outcome — after solution
 // extraction and independent verification — on the configured tracer.
 func (m *Model) emitResult(res *Result) {

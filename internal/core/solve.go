@@ -93,14 +93,8 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 	default:
 		brancher = milp.BrancherFunc(m.paperBranch)
 	}
-	if m.Opt.Presolve {
-		if res := m.P.Presolve(); res.Infeasible {
-			return &Result{Stats: m.Stats(), Optimal: true}, nil
-		}
-		if err := m.P.TightenBinary(m.intVars); err != nil {
-			// a binary domain emptied: no integer solution exists
-			return &Result{Stats: m.Stats(), Optimal: true}, nil
-		}
+	if m.ApplyPresolve() {
+		return &Result{Stats: m.Stats(), Optimal: true}, nil
 	}
 	mopt := milp.Options{
 		IntVars:           m.intVars,
@@ -120,7 +114,12 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 		mopt.Probe = m.probe
 	}
 	var prime *partition.Solution
-	if m.Opt.PrimeHeuristic || m.Opt.ExactSweep {
+	if m.warm != nil {
+		mopt.Warm = m.warm.Solver
+		mopt.OnRoot = m.warm.OnRoot
+		prime = m.warm.Prime
+	}
+	if prime == nil && (m.Opt.PrimeHeuristic || m.Opt.ExactSweep) {
 		prime = m.heuristicIncumbent()
 	}
 	sweepNodes, sweepPivots := 0, 0

@@ -1,0 +1,116 @@
+package delta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+func twoVarProblem(objY float64, hiX, cap float64) *lp.Problem {
+	p := &lp.Problem{}
+	x := p.AddVar("x", 1, 0, hiX)
+	y := p.AddVar("y", objY, 0, 1)
+	if err := p.AddLE("cap", []int{x, y}, []float64{2, 3}, cap); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestDiffClassification(t *testing.T) {
+	base := twoVarProblem(5, 4, 10)
+
+	t.Run("none", func(t *testing.T) {
+		d := DiffProblems(base, twoVarProblem(5, 4, 10))
+		if d.Class != ClassNone || !d.Tightens || !d.Relaxes {
+			t.Fatalf("got %+v", d)
+		}
+	})
+	t.Run("bounds-tighten", func(t *testing.T) {
+		d := DiffProblems(base, twoVarProblem(5, 3, 8))
+		if d.Class != ClassBounds {
+			t.Fatalf("class %v", d.Class)
+		}
+		if !d.Tightens || d.Relaxes {
+			t.Fatalf("directions %+v", d)
+		}
+		if len(d.VarBounds) != 1 || d.VarBounds[0] != (VarBoundChange{Col: 0, Lo: 0, Hi: 3}) {
+			t.Fatalf("var bounds %+v", d.VarBounds)
+		}
+		if len(d.RowBounds) != 1 || d.RowBounds[0].Row != 0 || d.RowBounds[0].Hi != 8 {
+			t.Fatalf("row bounds %+v", d.RowBounds)
+		}
+	})
+	t.Run("bounds-relax", func(t *testing.T) {
+		d := DiffProblems(base, twoVarProblem(5, 6, 12))
+		if d.Class != ClassBounds || d.Tightens || !d.Relaxes {
+			t.Fatalf("got %+v", d)
+		}
+	})
+	t.Run("bounds-mixed", func(t *testing.T) {
+		d := DiffProblems(base, twoVarProblem(5, 3, 12))
+		if d.Class != ClassBounds || d.Tightens || d.Relaxes {
+			t.Fatalf("got %+v", d)
+		}
+	})
+	t.Run("objective", func(t *testing.T) {
+		d := DiffProblems(base, twoVarProblem(7, 4, 10))
+		if d.Class != ClassObjective || d.Tightens || d.Relaxes {
+			t.Fatalf("got %+v", d)
+		}
+		if len(d.Obj) != 1 || d.Obj[0] != (ObjChange{Col: 1, C: 7}) {
+			t.Fatalf("obj %+v", d.Obj)
+		}
+	})
+	t.Run("bounds+objective", func(t *testing.T) {
+		d := DiffProblems(base, twoVarProblem(7, 4, 8))
+		if d.Class != ClassBoundsObjective {
+			t.Fatalf("class %v", d.Class)
+		}
+		if !d.Class.warmable() {
+			t.Fatal("bounds+objective must be warmable")
+		}
+	})
+	t.Run("structural-coef", func(t *testing.T) {
+		p := &lp.Problem{}
+		x := p.AddVar("x", 1, 0, 4)
+		y := p.AddVar("y", 5, 0, 1)
+		if err := p.AddLE("cap", []int{x, y}, []float64{2, 4}, 10); err != nil {
+			t.Fatal(err)
+		}
+		d := DiffProblems(base, p)
+		if d.Class != ClassStructural || d.Class.warmable() {
+			t.Fatalf("got %+v", d)
+		}
+	})
+	t.Run("structural-shape", func(t *testing.T) {
+		p := &lp.Problem{}
+		p.AddVar("x", 1, 0, 4)
+		d := DiffProblems(base, p)
+		if d.Class != ClassStructural {
+			t.Fatalf("class %v", d.Class)
+		}
+	})
+	t.Run("structural-name", func(t *testing.T) {
+		p := &lp.Problem{}
+		x := p.AddVar("x", 1, 0, 4)
+		y := p.AddVar("q", 5, 0, 1)
+		if err := p.AddLE("cap", []int{x, y}, []float64{2, 3}, 10); err != nil {
+			t.Fatal(err)
+		}
+		if d := DiffProblems(base, p); d.Class != ClassStructural {
+			t.Fatalf("class %v", d.Class)
+		}
+	})
+	t.Run("one-sided-rows", func(t *testing.T) {
+		// -inf lower sides must not break the monotone flags
+		p := twoVarProblem(5, 4, 10)
+		d := DiffProblems(base, p)
+		if lo, _ := p.RowRange(0); !math.IsInf(lo, -1) {
+			t.Fatal("expected one-sided row")
+		}
+		if d.Class != ClassNone {
+			t.Fatalf("class %v", d.Class)
+		}
+	})
+}

@@ -1,0 +1,319 @@
+package delta
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Re-solve paths reported in Info.Path.
+const (
+	// PathCold is a from-scratch solve (no cached base, or a structural
+	// edit).
+	PathCold = "cold"
+	// PathWarm is a search warm-started from the cached root basis
+	// (edited clone), usually also primed with the cached incumbent.
+	PathWarm = "warm"
+	// PathReuse returns the cached conclusion without any search: a
+	// pure tightening whose surviving optimal incumbent (or proven
+	// infeasibility) pins the new optimum exactly.
+	PathReuse = "reuse"
+)
+
+// Info describes how an Engine.Solve dispatched a request.
+type Info struct {
+	// Class is the edit classification against the cached base build
+	// ("" when no base was cached).
+	Class string `json:"class,omitempty"`
+	// Path is the re-solve path taken: cold, warm or reuse.
+	Path string `json:"path"`
+	// Primed reports that the cached solution re-verified under the new
+	// instance and primed the incumbent.
+	Primed bool `json:"primed,omitempty"`
+}
+
+// Config bounds the engine's cache.
+type Config struct {
+	// MaxEntries caps the cached builds (LRU beyond it); <= 0 means 8.
+	MaxEntries int
+	// MaxSolverCells caps root-basis retention per entry: a root whose
+	// dense tableau exceeds this many cells (rows × (rows + vars +
+	// rows)) is not retained — the entry still serves conclusion reuse
+	// and incumbent priming, just not the basis warm start. <= 0 means
+	// 1<<23 (64 MiB of float64s).
+	MaxSolverCells int64
+}
+
+const (
+	defaultMaxEntries  = 8
+	defaultSolverCells = 1 << 23
+)
+
+// entry is one cached build: the post-presolve model, its result, and
+// (when within the cell budget) a solver template anchored at a solved
+// root basis of the entry's problem. The template is never mutated
+// after insertion — every use clones it first — so concurrent amends
+// against one base are safe.
+type entry struct {
+	key    string
+	model  *core.Model
+	result *core.Result
+	root   *lp.Solver
+}
+
+// Engine caches recent builds by canonical instance key and dispatches
+// amended solves down the cheapest sound path. Safe for concurrent
+// use; the solves themselves run outside the lock.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	order   *list.List // front = most recent; values are *entry
+	entries map[string]*list.Element
+
+	// counters, read via Metrics
+	solves, warm, reuse, structural uint64
+}
+
+// NewEngine returns an engine with the given cache bounds.
+func NewEngine(cfg Config) *Engine {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = defaultMaxEntries
+	}
+	if cfg.MaxSolverCells <= 0 {
+		cfg.MaxSolverCells = defaultSolverCells
+	}
+	return &Engine{cfg: cfg, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// Metrics is a snapshot of the engine's dispatch counters.
+type Metrics struct {
+	Solves     uint64 `json:"solves"`
+	Warm       uint64 `json:"warm"`
+	Reuse      uint64 `json:"reuse"`
+	Structural uint64 `json:"structural"`
+	Entries    int    `json:"entries"`
+}
+
+// Metrics returns the dispatch counters and current cache size.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Metrics{Solves: e.solves, Warm: e.warm, Reuse: e.reuse,
+		Structural: e.structural, Entries: e.order.Len()}
+}
+
+func (e *Engine) lookup(key string) *entry {
+	if key == "" {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.entries[key]
+	if !ok {
+		return nil
+	}
+	e.order.MoveToFront(el)
+	return el.Value.(*entry)
+}
+
+func (e *Engine) store(en *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.entries[en.key]; ok {
+		el.Value = en
+		e.order.MoveToFront(el)
+		return
+	}
+	e.entries[en.key] = e.order.PushFront(en)
+	for e.order.Len() > e.cfg.MaxEntries {
+		el := e.order.Back()
+		e.order.Remove(el)
+		delete(e.entries, el.Value.(*entry).key)
+	}
+}
+
+// Solve builds the instance and solves it, warm-starting from the
+// cached build under baseKey when one exists and the edit class allows
+// it. The finished build is cached under key for future amends (so a
+// chain of amends, or a sweep walking neighboring points, stays warm).
+// key and baseKey are the service's canonical instance hashes; "" for
+// baseKey means a cold solve.
+func (e *Engine) Solve(ctx context.Context, key, baseKey string, inst core.Instance, opt core.Options) (*core.Result, Info, error) {
+	e.mu.Lock()
+	e.solves++
+	e.mu.Unlock()
+	info := Info{Path: PathCold}
+	start := time.Now()
+	m, err := core.Build(inst, opt)
+	if err != nil {
+		return nil, info, err
+	}
+	if m.ApplyPresolve() {
+		// proven infeasible before any LP existed; SolveContext returns
+		// the canonical early result (nothing worth caching)
+		res, serr := m.SolveContext(ctx)
+		return res, info, serr
+	}
+
+	// Root-basis retention budget: a dense tableau beyond the cell cap
+	// is not worth keeping (or cloning) — such entries still serve
+	// conclusion reuse and incumbent priming.
+	nv, nr := m.P.NumVars(), m.P.NumRows()
+	withinBudget := int64(nr)*int64(nr+nv) <= e.cfg.MaxSolverCells
+
+	var base *entry
+	if baseKey != "" && baseKey != key {
+		base = e.lookup(baseKey)
+	}
+	warm := &core.Warm{}
+	var template *lp.Solver // un-reoptimized root template for the reuse path
+	if base != nil {
+		d := DiffProblems(base.model.P, m.P)
+		info.Class = d.Class.String()
+		if d.Class == ClassStructural {
+			e.mu.Lock()
+			e.structural++
+			e.mu.Unlock()
+		}
+		if d.Class.warmable() && base.root != nil {
+			ws := base.root.Clone()
+			for _, vb := range d.VarBounds {
+				ws.SetBound(vb.Col, vb.Lo, vb.Hi)
+			}
+			for _, rb := range d.RowBounds {
+				ws.SetRowBounds(rb.Row, rb.Lo, rb.Hi)
+			}
+			for _, oc := range d.Obj {
+				ws.SetObj(oc.Col, oc.C)
+			}
+			warm.Solver = ws
+			template = ws
+			info.Path = PathWarm
+		}
+		if d.Class != ClassStructural {
+			warm.Prime = reusableSolution(base.result, m)
+			info.Primed = warm.Prime != nil
+			// Monotone-direction conclusion reuse: a pure tightening can
+			// only raise a minimization optimum, so a surviving optimal
+			// incumbent pins it exactly (old_opt <= new_opt <= old_obj =
+			// old_opt), and a proven-infeasible base stays infeasible.
+			// With certification on we run the (primed, warm) search
+			// instead so internal/exact re-certifies the verdict against
+			// the new problem.
+			if d.Tightens && base.result.Optimal && !opt.Certify {
+				if base.result.Feasible && warm.Prime != nil {
+					res := e.reuseResult(m, warm.Prime, start, opt)
+					e.finish(key, m, res, template)
+					info.Path = PathReuse
+					return res, info, nil
+				}
+				if !base.result.Feasible {
+					res := e.reuseResult(m, nil, start, opt)
+					e.finish(key, m, res, template)
+					info.Path = PathReuse
+					return res, info, nil
+				}
+			}
+		}
+	}
+	if tr := opt.Trace; tr.Enabled() {
+		tr.Emit(trace.Event{Kind: trace.KindPlan,
+			Msg: fmt.Sprintf("delta: class=%s path=%s primed=%v", orDash(info.Class), info.Path, info.Primed)})
+	}
+
+	// Capture this solve's root basis (clone taken synchronously inside
+	// the root hook, before the search mutates the solver) so the entry
+	// can warm future amends; skipped above the cell budget.
+	var rootClone *lp.Solver
+	if withinBudget {
+		warm.OnRoot = func(s *lp.Solver) { rootClone = s.Clone() }
+	}
+	m.SetWarm(warm)
+	res, err := m.SolveContext(ctx)
+	if err != nil || res == nil || res.Cancelled {
+		return res, info, err
+	}
+	if info.Path == PathWarm {
+		e.mu.Lock()
+		e.warm++
+		e.mu.Unlock()
+	}
+	e.finish(key, m, res, rootClone)
+	return res, info, err
+}
+
+// finish caches the completed build under key.
+func (e *Engine) finish(key string, m *core.Model, res *core.Result, root *lp.Solver) {
+	if key == "" || res == nil {
+		return
+	}
+	e.store(&entry{key: key, model: m, result: res, root: root})
+}
+
+// reuseResult assembles the conclusion-reuse result: the (copied,
+// re-verified) cached solution as the proven optimum, or the proven
+// infeasibility, with zero search work. Emitted as its own result
+// event so job traces stay complete.
+func (e *Engine) reuseResult(m *core.Model, sol *partition.Solution, start time.Time, opt core.Options) *core.Result {
+	e.mu.Lock()
+	e.reuse++
+	e.mu.Unlock()
+	res := &core.Result{
+		Optimal: true,
+		Stats:   m.Stats(),
+		Runtime: time.Since(start),
+	}
+	if sol != nil {
+		res.Feasible = true
+		res.Solution = sol
+	}
+	if tr := opt.Trace; tr.Enabled() {
+		tr.Emit(trace.Event{Kind: trace.KindPlan,
+			Msg: "delta: class=bounds path=reuse (monotone tightening, conclusion carried over)"})
+	}
+	m.EmitResult(res)
+	return res
+}
+
+// reusableSolution re-renders the cached solution against the NEW
+// model's instance: a deep copy whose comm cost is recomputed on the
+// new graph and which must pass the independent partition verifier
+// before it is allowed to prime (and thus prune) anything. Nil when
+// the cached solve had no solution or verification fails.
+func reusableSolution(base *core.Result, m *core.Model) *partition.Solution {
+	if base == nil || base.Solution == nil || base.Solution.N != m.N {
+		return nil
+	}
+	src := base.Solution
+	sol := &partition.Solution{
+		N:             src.N,
+		TaskPartition: append([]int(nil), src.TaskPartition...),
+		OpStep:        append([]int(nil), src.OpStep...),
+		OpUnit:        append([]int(nil), src.OpUnit...),
+	}
+	sol.Comm = sol.CommCost(m.Inst.Graph)
+	err := partition.Verify(m.Inst.Graph, m.Inst.Alloc, m.Inst.Device, sol, partition.VerifyOptions{
+		L:          m.Opt.L,
+		Windows:    m.Win,
+		Multicycle: m.Opt.Multicycle,
+	})
+	if err != nil {
+		return nil
+	}
+	return sol
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

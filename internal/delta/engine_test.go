@@ -1,0 +1,234 @@
+package delta
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/library"
+	"repro/internal/randgraph"
+)
+
+func testAlloc(t testing.TB) *library.Allocation {
+	t.Helper()
+	alloc, err := library.PaperAllocation(library.DefaultLibrary(), 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alloc
+}
+
+func testOpt(certify bool) core.Options {
+	return core.Options{
+		N: 2, L: 1,
+		Linearization: core.LinGlover,
+		Tightened:     true,
+		Certify:       certify,
+		TimeLimit:     30 * time.Second,
+	}
+}
+
+// sameVerdict asserts the engine result and a cold core solve agree
+// bit-for-bit on verdict and objective.
+func sameVerdict(t *testing.T, label string, got, want *core.Result) {
+	t.Helper()
+	if got.Optimal != want.Optimal || got.Feasible != want.Feasible {
+		t.Fatalf("%s: engine optimal=%v feasible=%v, cold optimal=%v feasible=%v",
+			label, got.Optimal, got.Feasible, want.Optimal, want.Feasible)
+	}
+	if got.Feasible && got.Solution.Comm != want.Solution.Comm {
+		t.Fatalf("%s: engine comm=%d, cold comm=%d", label, got.Solution.Comm, want.Solution.Comm)
+	}
+}
+
+// TestEngineDifferential is the amend differential guard: every fast
+// path the engine takes for a device edit must equal a cold solve of
+// the edited instance, with certificates re-verifying (certify on
+// disables conclusion reuse, so the warm path is what is exercised).
+func TestEngineDifferential(t *testing.T) {
+	alloc := testAlloc(t)
+	opt := testOpt(true)
+	ctx := context.Background()
+
+	baseDev := library.Device{Name: "d", CapacityFG: 400, Alpha: 1.0, ScratchMem: 64}
+	edits := []library.Device{
+		{Name: "d", CapacityFG: 160, Alpha: 1.0, ScratchMem: 64}, // capacity tighten
+		{Name: "d", CapacityFG: 600, Alpha: 1.0, ScratchMem: 64}, // capacity relax
+		{Name: "d", CapacityFG: 400, Alpha: 1.0, ScratchMem: 8},  // scratch tighten
+		{Name: "d", CapacityFG: 400, Alpha: 0.8, ScratchMem: 64}, // alpha relax (C/α grows)
+		{Name: "d", CapacityFG: 120, Alpha: 0.9, ScratchMem: 3},  // everything at once
+	}
+
+	warmSeen := 0
+	for _, seed := range []int64{1, 7, 13} {
+		g, err := randgraph.Tiny(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eng := NewEngine(Config{})
+		baseKey := fmt.Sprintf("base-%d", seed)
+		baseInst := core.Instance{Graph: g, Alloc: alloc, Device: baseDev}
+		baseRes, info, err := eng.Solve(ctx, baseKey, "", baseInst, opt)
+		if err != nil {
+			t.Fatalf("seed %d base: %v", seed, err)
+		}
+		if info.Path != PathCold || info.Class != "" {
+			t.Fatalf("seed %d base dispatched as %+v, want cold/no-class", seed, info)
+		}
+		if !baseRes.Optimal {
+			t.Fatalf("seed %d base not optimal", seed)
+		}
+
+		for ei, dev := range edits {
+			label := fmt.Sprintf("seed %d edit %d", seed, ei)
+			inst := core.Instance{Graph: g, Alloc: alloc, Device: dev}
+			got, info, err := eng.Solve(ctx, fmt.Sprintf("%s-e%d", baseKey, ei), baseKey, inst, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if info.Class != "bounds" {
+				t.Fatalf("%s: classified %q, want bounds (device edits are pure RHS)", label, info.Class)
+			}
+			if info.Path == PathReuse {
+				t.Fatalf("%s: conclusion reuse must be disabled under -certify", label)
+			}
+			if info.Path == PathWarm {
+				warmSeen++
+			}
+			want, err := core.SolveInstance(inst, opt)
+			if err != nil {
+				t.Fatalf("%s cold: %v", label, err)
+			}
+			sameVerdict(t, label, got, want)
+			if c := got.Certificate; c == nil || !c.Valid {
+				t.Fatalf("%s: amended solve certificate missing or invalid", label)
+			}
+		}
+	}
+	if warmSeen == 0 {
+		t.Fatal("no edit took the warm path — root bases are not being retained")
+	}
+}
+
+// TestEngineReuse checks the monotone conclusion-reuse path: with
+// certification off, a pure tightening whose cached optimum still
+// verifies is answered without any search, and the answer equals cold.
+func TestEngineReuse(t *testing.T) {
+	alloc := testAlloc(t)
+	opt := testOpt(false)
+	ctx := context.Background()
+
+	g, err := randgraph.Tiny(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(Config{})
+	base := core.Instance{Graph: g, Alloc: alloc,
+		Device: library.Device{Name: "d", CapacityFG: 400, Alpha: 1.0, ScratchMem: 64}}
+	baseRes, _, err := eng.Solve(ctx, "base", "", base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !baseRes.Optimal || !baseRes.Feasible {
+		t.Fatalf("base optimal=%v feasible=%v, want optimal feasible", baseRes.Optimal, baseRes.Feasible)
+	}
+
+	// a mild capacity cut: the cached optimum still fits, so the engine
+	// may answer from the cache alone
+	tight := core.Instance{Graph: g, Alloc: alloc,
+		Device: library.Device{Name: "d", CapacityFG: 390, Alpha: 1.0, ScratchMem: 64}}
+	got, info, err := eng.Solve(ctx, "tight", "base", tight, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Path != PathReuse {
+		t.Fatalf("tightening with surviving optimum dispatched as %q, want reuse", info.Path)
+	}
+	if got.Nodes != 0 {
+		t.Fatalf("reuse path searched %d nodes, want 0", got.Nodes)
+	}
+	want, err := core.SolveInstance(tight, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVerdict(t, "reuse", got, want)
+
+	if m := eng.Metrics(); m.Reuse != 1 || m.Solves != 2 {
+		t.Fatalf("metrics %+v, want reuse=1 solves=2", m)
+	}
+}
+
+// TestEngineSweepChain walks an α sweep where each point amends the
+// previous one — the access pattern of /v1/sweep — and checks every
+// point agrees with a cold solve while staying off the cold path.
+func TestEngineSweepChain(t *testing.T) {
+	alloc := testAlloc(t)
+	opt := testOpt(false)
+	ctx := context.Background()
+
+	g, err := randgraph.Tiny(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(Config{})
+	alphas := []float64{0.7, 0.8, 0.9, 1.0}
+	prevKey := ""
+	fast := 0
+	for i, a := range alphas {
+		key := fmt.Sprintf("pt-%d", i)
+		inst := core.Instance{Graph: g, Alloc: alloc,
+			Device: library.Device{Name: "d", CapacityFG: 400, Alpha: a, ScratchMem: 64}}
+		got, info, err := eng.Solve(ctx, key, prevKey, inst, opt)
+		if err != nil {
+			t.Fatalf("alpha %v: %v", a, err)
+		}
+		want, err := core.SolveInstance(inst, opt)
+		if err != nil {
+			t.Fatalf("alpha %v cold: %v", a, err)
+		}
+		sameVerdict(t, fmt.Sprintf("alpha %v", a), got, want)
+		if i > 0 {
+			if info.Class != "bounds" {
+				t.Fatalf("alpha %v: classified %q, want bounds", a, info.Class)
+			}
+			if info.Path != PathCold {
+				fast++
+			}
+		}
+		prevKey = key
+	}
+	if fast != len(alphas)-1 {
+		t.Fatalf("only %d/%d sweep points stayed warm", fast, len(alphas)-1)
+	}
+}
+
+// TestEngineLRU checks the entry cap evicts the oldest base.
+func TestEngineLRU(t *testing.T) {
+	alloc := testAlloc(t)
+	opt := testOpt(false)
+	ctx := context.Background()
+	g, err := randgraph.Tiny(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(Config{MaxEntries: 2})
+	for i := 0; i < 4; i++ {
+		inst := core.Instance{Graph: g, Alloc: alloc,
+			Device: library.Device{Name: "d", CapacityFG: 200 + 10*i, Alpha: 1.0, ScratchMem: 64}}
+		if _, _, err := eng.Solve(ctx, fmt.Sprintf("k%d", i), "", inst, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := eng.Metrics()
+	if m.Entries != 2 {
+		t.Fatalf("entries %d, want 2", m.Entries)
+	}
+	if eng.lookup("k0") != nil || eng.lookup("k1") != nil {
+		t.Fatal("oldest entries not evicted")
+	}
+	if eng.lookup("k3") == nil {
+		t.Fatal("newest entry missing")
+	}
+}

@@ -23,13 +23,30 @@ type TrajectoryResult struct {
 	Nodes int `json:"nodes"`
 }
 
-// TrajectoryEntry is one dated point of the series.
+// SweepTrajectory distills one -sweepbench run: total warm-chained vs
+// cold wall time over the α grid and the path mix.
+type SweepTrajectory struct {
+	Graph   string  `json:"graph"`
+	Points  int     `json:"points"`
+	WarmMS  float64 `json:"warm_ms"`
+	ColdMS  float64 `json:"cold_ms"`
+	Speedup float64 `json:"speedup"`
+	Warm    int     `json:"warm"`
+	Reuse   int     `json:"reuse"`
+}
+
+// TrajectoryEntry is one dated point of the series: a serial-vs-
+// parallel suite distillation, a warm-vs-cold sweep distillation, or
+// both.
 type TrajectoryEntry struct {
 	// Date is the run date, YYYY-MM-DD.
 	Date        string             `json:"date"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Parallelism int                `json:"parallelism"`
-	Results     []TrajectoryResult `json:"results"`
+	Parallelism int                `json:"parallelism,omitempty"`
+	Results     []TrajectoryResult `json:"results,omitempty"`
+	// Sweep is the warm-vs-cold design-space sweep distillation
+	// appended by tptables -sweepbench.
+	Sweep *SweepTrajectory `json:"sweep,omitempty"`
 }
 
 // distillTrajectory reduces a full suite report to a trajectory entry.
@@ -55,6 +72,28 @@ func distillTrajectory(date string, rep MILPBenchReport) TrajectoryEntry {
 // array at path. A missing file starts a new series; a corrupt one is
 // an error, never silently overwritten.
 func AppendTrajectory(path, date string, rep MILPBenchReport) error {
+	return appendTrajectoryEntry(path, distillTrajectory(date, rep))
+}
+
+// AppendSweepTrajectory appends a dated distillation of a -sweepbench
+// run to the same series file the -benchmilp distillations land in.
+func AppendSweepTrajectory(path, date string, rep SweepBenchReport) error {
+	return appendTrajectoryEntry(path, TrajectoryEntry{
+		Date:       date,
+		GOMAXPROCS: rep.GOMAXPROCS,
+		Sweep: &SweepTrajectory{
+			Graph:   rep.Graph,
+			Points:  len(rep.Points),
+			WarmMS:  float64(rep.WarmNS) / 1e6,
+			ColdMS:  float64(rep.ColdNS) / 1e6,
+			Speedup: rep.Speedup,
+			Warm:    rep.Warm,
+			Reuse:   rep.Reuse,
+		},
+	})
+}
+
+func appendTrajectoryEntry(path string, entry TrajectoryEntry) error {
 	var series []TrajectoryEntry
 	raw, err := os.ReadFile(path)
 	switch {
@@ -67,7 +106,7 @@ func AppendTrajectory(path, date string, rep MILPBenchReport) error {
 	default:
 		return err
 	}
-	series = append(series, distillTrajectory(date, rep))
+	series = append(series, entry)
 	out, err := json.MarshalIndent(series, "", "  ")
 	if err != nil {
 		return err

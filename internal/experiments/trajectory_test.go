@@ -57,6 +57,60 @@ func TestAppendTrajectory(t *testing.T) {
 	}
 }
 
+// TestAppendSweepTrajectory checks that a sweep distillation can be
+// appended to a series started by the benchmilp distillation, and that
+// the two entry shapes coexist in one file.
+func TestAppendSweepTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+
+	if err := AppendTrajectory(path, "2026-08-07", trajectoryReport(2e9, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	sweep := SweepBenchReport{
+		GOMAXPROCS: 8,
+		Graph:      "diffeq",
+		N:          2, L: 2,
+		Points: []SweepBenchPoint{
+			{Alpha: 0.7, WarmNS: 5e8, ColdNS: 1e9, Path: "cold"},
+			{Alpha: 0.8, WarmNS: 1e8, ColdNS: 1e9, Path: "warm"},
+		},
+		WarmNS: 6e8, ColdNS: 2e9, Speedup: 2e9 / 6e8,
+		Warm: 1, Cold: 1,
+	}
+	if err := AppendSweepTrajectory(path, "2026-08-08", sweep); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []TrajectoryEntry
+	if err := json.Unmarshal(raw, &series); err != nil {
+		t.Fatalf("series not valid JSON: %v\n%s", err, raw)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series length %d, want 2", len(series))
+	}
+	if series[0].Sweep != nil {
+		t.Fatalf("benchmilp entry grew a sweep: %+v", series[0].Sweep)
+	}
+	e := series[1]
+	if e.Date != "2026-08-08" || e.GOMAXPROCS != 8 || len(e.Results) != 0 {
+		t.Fatalf("sweep entry shape wrong: %+v", e)
+	}
+	if e.Sweep == nil {
+		t.Fatal("sweep entry missing Sweep distillation")
+	}
+	s := *e.Sweep
+	if s.Graph != "diffeq" || s.Points != 2 || s.WarmMS != 600 || s.ColdMS != 2000 || s.Warm != 1 || s.Reuse != 0 {
+		t.Fatalf("sweep distillation wrong: %+v", s)
+	}
+	if s.Speedup < 3.3 || s.Speedup > 3.4 {
+		t.Fatalf("speedup %v, want 2000/600", s.Speedup)
+	}
+}
+
 // TestAppendTrajectoryRejectsCorrupt refuses to overwrite a file that
 // is not a trajectory series.
 func TestAppendTrajectoryRejectsCorrupt(t *testing.T) {

@@ -322,6 +322,31 @@ func (s *Solver) SetBound(j int, lo, hi float64) {
 	if lo > hi {
 		panic(fmt.Sprintf("lp: SetBound: empty range [%v,%v]", lo, hi))
 	}
+	s.setBoundAny(j, lo, hi)
+}
+
+// SetRowBounds changes the range of row i to [lo, hi], keeping the
+// factorized state consistent so ReOptimize can warm-start. Row ranges
+// are owned by the logical variables (row i holds a_i·x + g_i = 0 with
+// g_i in [-hi, -lo]), which every consumer of row ranges — the dual
+// ratio test, Farkas certification, Residual — already treats as
+// authoritative, so a range edit needs no tableau rebuild: it is the
+// row-side twin of SetBound, the primitive the delta re-solve layer
+// uses to morph a solved root into a neighboring instance (rhs edits:
+// capacity, scratch memory, α-scaled area).
+func (s *Solver) SetRowBounds(i int, lo, hi float64) {
+	if i < 0 || i >= s.m {
+		panic(fmt.Sprintf("lp: SetRowBounds: bad row %d", i))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("lp: SetRowBounds: empty range [%v,%v]", lo, hi))
+	}
+	s.setBoundAny(s.n+i, -hi, -lo)
+}
+
+// setBoundAny is the shared bound editor behind SetBound and
+// SetRowBounds: j may be structural or logical.
+func (s *Solver) setBoundAny(j int, lo, hi float64) {
 	s.lo[j], s.hi[j] = lo, hi
 	if s.vstat[j] == basic {
 		return // beta may now violate; dual simplex repairs it
@@ -357,6 +382,63 @@ func (s *Solver) SetBound(j int, lo, hi float64) {
 	}
 	s.status = StatusUnknown
 }
+
+// SetObj changes the objective coefficient of structural variable j,
+// updating the reduced costs incrementally so ReOptimize can warm-start
+// (primal simplex from a still-primal-feasible basis). The tableau is
+// untouched: only c and d move, by the standard identity
+// d = c - c_B^T (B^{-1} A).
+func (s *Solver) SetObj(j int, c float64) {
+	if j < 0 || j >= s.n {
+		panic(fmt.Sprintf("lp: SetObj: bad variable %d", j))
+	}
+	dc := c - s.c[j]
+	if dc == 0 {
+		return
+	}
+	s.c[j] = c
+	if s.vstat[j] != basic {
+		s.d[j] += dc
+		s.status = StatusUnknown
+		return
+	}
+	// j basic in row r: every reduced cost shifts by -dc * tab[r][·];
+	// d[j] itself nets to zero (+dc from c, -dc from tab[r][j] = 1), and
+	// other basic columns keep their zero since tab[r][basic k≠j] = 0.
+	trow := s.tab[s.inRow[j]*s.ntot : (s.inRow[j]+1)*s.ntot]
+	for k := 0; k < s.ntot; k++ {
+		if trow[k] != 0 {
+			s.d[k] -= dc * trow[k]
+		}
+	}
+	// basic reduced costs are zero by definition; pin them rather than
+	// trust the drifted tableau entries of basic columns
+	for i := 0; i < s.m; i++ {
+		s.d[s.basis[i]] = 0
+	}
+	s.status = StatusUnknown
+}
+
+// Obj returns the current objective coefficient of structural variable
+// j as owned by the solver (NewSolver copies, SetObj edits).
+func (s *Solver) Obj(j int) float64 {
+	if j < 0 || j >= s.n {
+		panic(fmt.Sprintf("lp: Obj: bad variable %d", j))
+	}
+	return s.c[j]
+}
+
+// RowBounds returns the current range of row i as owned by the solver.
+func (s *Solver) RowBounds(i int) (lo, hi float64) {
+	if i < 0 || i >= s.m {
+		panic(fmt.Sprintf("lp: RowBounds: bad row %d", i))
+	}
+	return -s.hi[s.n+i], -s.lo[s.n+i]
+}
+
+// Dims returns the solver's structural-variable and row counts, fixed
+// at NewSolver time.
+func (s *Solver) Dims() (vars, rows int) { return s.n, s.m }
 
 // shiftNonbasic adjusts basic values after nonbasic variable j moved by
 // delta.

@@ -178,6 +178,26 @@ type Options struct {
 	// trusted. Off (the default) the solve paths perform no extra work
 	// and no allocations.
 	Certify bool
+	// Warm, when set, is used as the root LP solver instead of a fresh
+	// lp.NewSolver(p): the root relaxation is re-optimized from the
+	// solver's current basis (dual simplex after bound edits, primal
+	// after objective edits) rather than solved cold. The caller owns
+	// the contract that the solver REPRESENTS p — same columns and rows,
+	// with any bound, row-range or objective edits already applied via
+	// SetBound/SetRowBounds/SetObj — because every downstream judgement
+	// (node feasibility checks, incumbent validation, exact
+	// certification) is rendered against p itself, so a violated
+	// contract surfaces as a failed solve, not a wrong answer. The
+	// solver is mutated by the search, like a fresh one would be; pass a
+	// Clone to keep the original reusable. Dimensions are validated.
+	Warm *lp.Solver
+	// OnRoot, when set, receives the root LP solver right after the
+	// root relaxation solves to optimality and before the search
+	// mutates it — the hook the delta re-solve layer uses to capture a
+	// reusable root basis (via Clone) with zero extra LP work. Called
+	// synchronously; not called when the root is infeasible or hits a
+	// limit.
+	OnRoot func(*lp.Solver)
 	// ParallelThreshold gates Parallelism behind a cheap root-size
 	// estimate: when the root tableau has fewer than this many cells
 	// (rows × (rows + columns)), or GOMAXPROCS < 2, or the root LP has
@@ -287,9 +307,17 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 	if len(opt.IntVars) == 0 {
 		return nil, fmt.Errorf("milp: no integer variables declared")
 	}
-	lps, err := lp.NewSolver(p)
-	if err != nil {
-		return nil, err
+	lps := opt.Warm
+	if lps != nil {
+		if n, m := lps.Dims(); n != p.NumVars() || m != p.NumRows() {
+			return nil, fmt.Errorf("milp: warm solver is %dx%d, problem is %dx%d",
+				m, n, p.NumRows(), p.NumVars())
+		}
+	} else {
+		var err error
+		if lps, err = lp.NewSolver(p); err != nil {
+			return nil, err
+		}
 	}
 	// An infeasible root must keep its Farkas multipliers for the exact
 	// replay; turned back off after the root solve so tree nodes pay
@@ -349,7 +377,12 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 	if s.prof != nil {
 		t0 = time.Now()
 	}
-	rootStatus := lps.Solve()
+	var rootStatus lp.Status
+	if opt.Warm != nil {
+		rootStatus = lps.ReOptimize()
+	} else {
+		rootStatus = lps.Solve()
+	}
 	rootMeta := nodeMeta{col: -1, pivots: int64(lps.Iterations)}
 	if s.prof != nil {
 		rootMeta.ns = time.Since(t0).Nanoseconds()
@@ -399,6 +432,9 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 			rw.varPos = lps.VarPositions()
 		}
 		lps.CaptureFarkas = false // root is done; nodes don't capture
+	}
+	if opt.OnRoot != nil {
+		opt.OnRoot(lps)
 	}
 	res.BestBound = lps.Objective()
 	s.sh.raiseBound(res.BestBound)

@@ -9,6 +9,13 @@ package service
 //	POST   /v1/jobs             asynchronous submit, returns the job record
 //	GET    /v1/jobs/{id}        job status + result
 //	DELETE /v1/jobs/{id}        cooperative cancellation
+//	POST   /v1/jobs/{id}/amend  re-solve a finished job with a partial
+//	                            edit overlaid; bound-only edits (C, Ms,
+//	                            α) warm-start from the base job's build.
+//	                            409 while the base is queued/running.
+//	POST   /v1/sweep            synchronous (N, L, Ms, C, α) design-space
+//	                            scan; neighboring points share presolve
+//	                            and warm starts through the delta engine
 //	GET    /v1/jobs/{id}/events live solve progress as Server-Sent Events;
 //	                            honors Last-Event-ID for resume
 //	GET    /v1/jobs/{id}/recording
@@ -53,6 +60,8 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", a.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.job)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/amend", a.amend)
+	mux.HandleFunc("POST /v1/sweep", a.sweep)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
 	mux.HandleFunc("GET /v1/jobs/{id}/recording", a.recording)
 	mux.HandleFunc("GET /v1/jobs/{id}/certificate", a.certificate)
@@ -154,6 +163,56 @@ func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// amend enqueues a re-solve of a finished job with a partial edit
+// overlaid onto its request. The new job carries the base's lineage
+// (amend.of/generation in its record) and its solve dispatches through
+// the delta engine. 404 for unknown base jobs, 409 while the base is
+// still queued or running.
+func (a *api) amend(w http.ResponseWriter, r *http.Request) {
+	var areq AmendRequest
+	if err := json.NewDecoder(r.Body).Decode(&areq); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding amendment: %v", err))
+		return
+	}
+	id, err := a.s.Amend(r.PathValue("id"), &areq)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			writeError(w, http.StatusNotFound, "not_found", err.Error())
+		case errors.Is(err, ErrJobRunning):
+			writeError(w, http.StatusConflict, "job_running", err.Error())
+		default:
+			writeSubmitError(w, err)
+		}
+		return
+	}
+	info, _ := a.s.Job(id)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+// sweep runs a synchronous design-space scan; the request context
+// cancels it. Oversized grids and invalid points are 400s.
+func (a *api) sweep(w http.ResponseWriter, r *http.Request) {
+	var sreq SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&sreq); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding sweep: %v", err))
+		return
+	}
+	res, err := a.s.Sweep(r.Context(), &sreq)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			writeError(w, statusClientClosedRequest, "cancelled", err.Error())
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // events streams the job's solve trace as Server-Sent Events: one

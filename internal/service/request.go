@@ -113,6 +113,61 @@ type SolveOptions struct {
 	Record bool `json:"record,omitempty"`
 }
 
+// AmendRequest is a partial edit of a finished job's request, applied
+// as an overlay: nil fields inherit the base job's value. The merged
+// request becomes a new job whose solve is dispatched through the
+// delta engine against the base job's cached build, so small edits
+// (capacity, scratch memory, α, bounds) re-solve warm instead of cold.
+type AmendRequest struct {
+	// Graph replaces the behavioral specification (a structural edit:
+	// the re-solve runs cold).
+	Graph *string `json:"graph,omitempty"`
+	// Allocation replaces the exploration set wholesale when non-nil.
+	Allocation map[string]int `json:"allocation,omitempty"`
+	// Device overlays the base device field-wise: only the fields set
+	// here change, so {"device":{"capacity_fg":300}} edits C alone.
+	Device *DeviceSpec `json:"device,omitempty"`
+	// Options replaces the solver options wholesale when non-nil.
+	Options *SolveOptions `json:"options,omitempty"`
+	// Priority replaces the queue priority when non-nil.
+	Priority *int `json:"priority,omitempty"`
+}
+
+// overlay merges the amendment onto the base request, returning the
+// complete request of the amended job.
+func (a *AmendRequest) overlay(base *Request) *Request {
+	merged := *base
+	if a.Graph != nil {
+		merged.Graph = *a.Graph
+	}
+	if a.Allocation != nil {
+		merged.Allocation = a.Allocation
+	}
+	if a.Device != nil {
+		d := base.Device
+		if a.Device.Name != "" {
+			d.Name = a.Device.Name
+		}
+		if a.Device.CapacityFG > 0 {
+			d.CapacityFG = a.Device.CapacityFG
+		}
+		if a.Device.Alpha > 0 {
+			d.Alpha = a.Device.Alpha
+		}
+		if a.Device.ScratchMem > 0 {
+			d.ScratchMem = a.Device.ScratchMem
+		}
+		merged.Device = d
+	}
+	if a.Options != nil {
+		merged.Options = *a.Options
+	}
+	if a.Priority != nil {
+		merged.Priority = *a.Priority
+	}
+	return &merged
+}
+
 // instance is a compiled request: the validated core instance and
 // options plus the canonical dedup/cache key. record marks a request
 // that must run fresh under a flight recorder.

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/exact"
 	"repro/internal/trace"
 )
@@ -46,6 +47,10 @@ var (
 	ErrQueueFull = errors.New("service: queue full")
 	// ErrUnknownJob reports an unknown job ID.
 	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrJobRunning reports an amend of a job that has not finished:
+	// the base build is only stable (and its conclusions only reusable)
+	// once the job is terminal.
+	ErrJobRunning = errors.New("service: job still running")
 )
 
 // Config tunes a Service. The zero value picks sensible defaults.
@@ -114,6 +119,20 @@ type job struct {
 	req      *instance
 	priority int
 	seq      uint64
+	// orig is the submitted request, retained so an amend can overlay
+	// partial edits onto it.
+	orig *Request
+	// amend lineage: amendOf names the base job, gen counts amend
+	// generations from the cold root, baseKey is the base job's
+	// canonical key (the delta engine's warm-start anchor), and
+	// deltaClass/deltaPath/primed record how the engine dispatched the
+	// solve.
+	amendOf    string
+	gen        int
+	baseKey    string
+	deltaClass string
+	deltaPath  string
+	primed     bool
 
 	status             JobStatus
 	submitted, started time.Time
@@ -174,6 +193,11 @@ type Service struct {
 	// footer stays per-job.
 	prof *trace.Profile
 
+	// delta caches recent builds and dispatches every fresh solve down
+	// the cheapest sound path (cold / warm-started / conclusion reuse)
+	// given the edit against a cached base; see internal/delta.
+	delta *delta.Engine
+
 	wg sync.WaitGroup
 }
 
@@ -186,6 +210,7 @@ func New(cfg Config) *Service {
 		flights: make(map[string]*flight),
 		cache:   newLRUCache(cfg.CacheSize),
 		prof:    trace.NewProfile(),
+		delta:   delta.NewEngine(delta.Config{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -206,6 +231,22 @@ func (s *Service) Submit(req *Request) (string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.enqueueLocked(ci, req, nil)
+}
+
+// lineage carries amend parentage into enqueueLocked: the base job,
+// the amend generation, the base's canonical key (the delta engine's
+// warm anchor) and the base ring's total (the new ring's index
+// anchor, keeping SSE event ids monotone across the amend boundary).
+type lineage struct {
+	of      string
+	gen     int
+	baseKey string
+	ringAt  uint64
+}
+
+// enqueueLocked creates and enqueues a job. Callers hold s.mu.
+func (s *Service) enqueueLocked(ci *instance, orig *Request, ln *lineage) (string, error) {
 	if s.closed {
 		return "", ErrClosed
 	}
@@ -216,7 +257,8 @@ func (s *Service) Submit(req *Request) (string, error) {
 	j := &job{
 		id:        fmt.Sprintf("j%08x", s.seq),
 		req:       ci,
-		priority:  req.Priority,
+		orig:      orig,
+		priority:  orig.Priority,
 		seq:       s.seq,
 		status:    StatusQueued,
 		submitted: time.Now(),
@@ -225,11 +267,52 @@ func (s *Service) Submit(req *Request) (string, error) {
 		index:     -1,
 		events:    trace.NewRing(0),
 	}
+	if ln != nil {
+		j.amendOf, j.gen, j.baseKey = ln.of, ln.gen, ln.baseKey
+		j.events = trace.NewRingAt(0, ln.ringAt)
+		s.stats.amends++
+	}
 	s.jobs[j.id] = j
 	heap.Push(&s.queue, j)
 	s.stats.submitted++
 	s.cond.Signal()
 	return j.id, nil
+}
+
+// Amend overlays a partial edit onto a finished job's request and
+// enqueues the merged request as a new job carrying the base's
+// lineage. The solve dispatches through the delta engine against the
+// base's cached build: pure bound edits (capacity, scratch, α) reuse
+// its presolve and root basis, structural edits run cold. Amending a
+// queued or running job fails with ErrJobRunning; the base build is
+// only stable once the job is terminal. The amended job's canonical
+// key derives from the merged request, so repeated identical amends
+// deduplicate through the result cache and singleflight like any
+// other submission.
+func (s *Service) Amend(baseID string, a *AmendRequest) (string, error) {
+	s.mu.Lock()
+	base, ok := s.jobs[baseID]
+	if !ok {
+		s.mu.Unlock()
+		return "", ErrUnknownJob
+	}
+	if !base.status.Finished() {
+		st := base.status
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %s is %s", ErrJobRunning, baseID, st)
+	}
+	ln := &lineage{of: baseID, gen: base.gen + 1, baseKey: base.req.key, ringAt: base.events.Total()}
+	orig := base.orig
+	s.mu.Unlock()
+
+	merged := a.overlay(orig)
+	ci, err := merged.compile(s.cfg.DefaultTimeout, s.cfg.DefaultParallelism)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enqueueLocked(ci, merged, ln)
 }
 
 // Job returns a snapshot of the job's state.
@@ -309,6 +392,7 @@ func (s *Service) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats.snapshot(s.cfg.Workers, s.queue.Len(), s.running, len(s.flights), s.cache.len())
 	st.Phases = s.prof.Snapshot()
+	st.Delta = s.delta.Metrics()
 	return st
 }
 
@@ -460,10 +544,11 @@ func (s *Service) run(j *job) {
 	op := j.req.opt
 	op.Trace = trace.New(f.fanout)
 	op.Profile = s.prof // aggregate phase attribution for /v1/metrics
-	res, err := s.solveLabeled(ctx, j, op)
+	res, dinfo, err := s.solveLabeled(ctx, j, op)
 	close(watchStop)
 
 	s.mu.Lock()
+	j.deltaClass, j.deltaPath, j.primed = dinfo.Class, dinfo.Path, dinfo.Primed
 	f.res, f.err = res, err
 	delete(s.flights, key)
 	if res != nil {
@@ -520,10 +605,17 @@ func (s *Service) runRecorded(j *job) {
 	s.mu.Lock()
 	s.stats.cacheMisses++
 	s.mu.Unlock()
-	res, err := s.solveLabeled(ctx, j, op)
+	res, dinfo, err := s.solveLabeled(ctx, j, op)
 	close(watchStop)
 
+	if j.amendOf != "" {
+		// stamp the amend lineage before snapshotting, so the recording
+		// names its base job and the delta path the engine took
+		rec.SetAmend(&trace.AmendRec{Of: j.amendOf, Generation: j.gen,
+			Class: dinfo.Class, Path: dinfo.Path})
+	}
 	s.mu.Lock()
+	j.deltaClass, j.deltaPath, j.primed = dinfo.Class, dinfo.Path, dinfo.Primed
 	s.prof.Merge(prof) // fold the per-job phases into /v1/metrics
 	j.recording = rec.Snapshot()
 	if res != nil {
@@ -546,14 +638,16 @@ func (s *Service) runRecorded(j *job) {
 	s.mu.Unlock()
 }
 
-// solveLabeled runs the core solve with pprof labels identifying the
-// job and graph, so CPU profiles of the service slice by job.
-func (s *Service) solveLabeled(ctx context.Context, j *job, op core.Options) (res *core.Result, err error) {
+// solveLabeled runs the solve through the delta engine — which caches
+// the build under the job's canonical key and warm-starts it from the
+// base job's build on amends — with pprof labels identifying the job
+// and graph, so CPU profiles of the service slice by job.
+func (s *Service) solveLabeled(ctx context.Context, j *job, op core.Options) (res *core.Result, info delta.Info, err error) {
 	labels := pprof.Labels("tp_job", j.id, "tp_graph", j.req.inst.Graph.Name)
 	pprof.Do(ctx, labels, func(ctx context.Context) {
-		res, err = core.SolveInstanceContext(ctx, j.req.inst, op)
+		res, info, err = s.delta.Solve(ctx, j.req.key, j.baseKey, j.req.inst, op)
 	})
-	return res, err
+	return res, info, err
 }
 
 // Recording returns the search-tree capture of a finished record-mode
@@ -687,6 +781,15 @@ func (s *Service) infoLocked(j *job) JobInfo {
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()
+	}
+	if j.amendOf != "" {
+		info.Amend = &AmendInfo{
+			Of:         j.amendOf,
+			Generation: j.gen,
+			Class:      j.deltaClass,
+			Path:       j.deltaPath,
+			Primed:     j.primed,
+		}
 	}
 	return info
 }

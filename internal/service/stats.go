@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/trace"
 )
 
@@ -21,6 +22,10 @@ type counters struct {
 
 	cacheHits   uint64
 	cacheMisses uint64
+
+	amends      uint64
+	sweeps      uint64
+	sweepPoints uint64
 
 	queueWait    time.Duration
 	maxQueueWait time.Duration
@@ -55,6 +60,19 @@ type Stats struct {
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 
+	// Amends counts jobs created via POST /v1/jobs/{id}/amend; Sweeps
+	// and SweepPoints count POST /v1/sweep calls and the grid points
+	// they solved.
+	Amends      uint64 `json:"amends"`
+	Sweeps      uint64 `json:"sweeps"`
+	SweepPoints uint64 `json:"sweep_points"`
+
+	// Delta is the delta engine's dispatch accounting: how many fresh
+	// solves ran, how many were warm-started from a cached base, and
+	// how many were answered by monotone conclusion reuse without any
+	// search.
+	Delta delta.Metrics `json:"delta"`
+
 	// TotalNodes and TotalLPIterations accumulate solver effort
 	// (branch-and-bound nodes, simplex pivots) over fresh solves only,
 	// so a stalled counter demonstrates that cancellation really
@@ -88,6 +106,9 @@ func (c *counters) snapshot(workers, queued, running, inFlight, cached int) Stat
 		Cancelled:         c.cancelled,
 		CacheHits:         c.cacheHits,
 		CacheMisses:       c.cacheMisses,
+		Amends:            c.amends,
+		Sweeps:            c.sweeps,
+		SweepPoints:       c.sweepPoints,
 		TotalNodes:        c.nodes,
 		TotalLPIterations: c.pivots,
 		TotalQueueWaitMS:  durMS(c.queueWait),
@@ -119,6 +140,12 @@ func (st Stats) WritePrometheus(w io.Writer) {
 	counter("tpserve_jobs_cancelled_total", "Jobs cancelled.", float64(st.Cancelled))
 	counter("tpserve_cache_hits_total", "Jobs served from the cache or an in-flight solve.", float64(st.CacheHits))
 	counter("tpserve_cache_misses_total", "Fresh solves.", float64(st.CacheMisses))
+	counter("tpserve_amends_total", "Jobs created by amending a finished job.", float64(st.Amends))
+	counter("tpserve_sweeps_total", "Design-space sweep requests.", float64(st.Sweeps))
+	counter("tpserve_sweep_points_total", "Grid points solved by sweeps.", float64(st.SweepPoints))
+	counter("tpserve_delta_warm_total", "Solves warm-started from a cached root basis.", float64(st.Delta.Warm))
+	counter("tpserve_delta_reuse_total", "Solves answered by monotone conclusion reuse.", float64(st.Delta.Reuse))
+	counter("tpserve_delta_structural_total", "Amends classified structural (cold re-solve).", float64(st.Delta.Structural))
 	counter("tpserve_bb_nodes_total", "Branch-and-bound nodes explored by fresh solves.", float64(st.TotalNodes))
 	counter("tpserve_lp_pivots_total", "Simplex pivots performed by fresh solves.", float64(st.TotalLPIterations))
 	counter("tpserve_queue_wait_seconds_total", "Cumulative queue wait.", st.TotalQueueWaitMS/1000)
@@ -170,6 +197,22 @@ type JobInfo struct {
 	SolveMS     float64   `json:"solve_ms"`
 	Result      *Outcome  `json:"result,omitempty"`
 	Error       string    `json:"error,omitempty"`
+	// Amend is the amend lineage of a job created through
+	// POST /v1/jobs/{id}/amend; nil for directly submitted jobs.
+	Amend *AmendInfo `json:"amend,omitempty"`
+}
+
+// AmendInfo is the JSON view of a job's amend lineage: the base job,
+// the generation (1 for the first amend of a cold job) and the delta
+// engine's dispatch — the edit classification against the base build,
+// the re-solve path (cold/warm/reuse) and whether the base's solution
+// re-verified and primed the search.
+type AmendInfo struct {
+	Of         string `json:"of"`
+	Generation int    `json:"generation"`
+	Class      string `json:"class,omitempty"`
+	Path       string `json:"path,omitempty"`
+	Primed     bool   `json:"primed,omitempty"`
 }
 
 // Outcome is the JSON view of a core.Result.

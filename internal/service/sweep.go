@@ -1,0 +1,172 @@
+package service
+
+// The design-space sweep API: one request scans a (N, L, Ms, C, α)
+// grid over a fixed graph and allocation, walking neighboring points
+// through the delta engine so consecutive solves share presolve work,
+// root bases and — on monotone tightening steps — whole conclusions.
+// The axis order puts the warmable axes (scratch, capacity, α)
+// innermost: consecutive points then differ only in constraint bounds,
+// which the engine re-solves warm instead of cold.
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// maxSweepPoints bounds one sweep request; the grid is solved
+// sequentially in the caller's goroutine, so an unbounded product
+// would turn one request into an unbounded amount of synchronous work.
+const maxSweepPoints = 256
+
+// SweepRequest is a base solve request plus the axes to scan. Empty
+// axes inherit the base request's single value.
+type SweepRequest struct {
+	Request
+	Sweep SweepAxes `json:"sweep"`
+}
+
+// SweepAxes are the scanned design-space dimensions. N and L are
+// structural (each step rebuilds the model cold); CapacityFG,
+// ScratchMem and Alpha are pure bound edits (each step re-solves warm
+// from its neighbor).
+type SweepAxes struct {
+	N          []int     `json:"n,omitempty"`
+	L          []int     `json:"l,omitempty"`
+	CapacityFG []int     `json:"capacity_fg,omitempty"`
+	ScratchMem []int     `json:"scratch_mem,omitempty"`
+	Alpha      []float64 `json:"alpha,omitempty"`
+}
+
+// SweepPoint is one solved grid point.
+type SweepPoint struct {
+	N          int     `json:"n"`
+	L          int     `json:"l"`
+	CapacityFG int     `json:"capacity_fg,omitempty"`
+	ScratchMem int     `json:"scratch_mem,omitempty"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	// Class and Path report the delta engine's dispatch against the
+	// previous point (cold for the first point of each structural
+	// cell).
+	Class string `json:"class,omitempty"`
+	Path  string `json:"path"`
+	// Verdict summary of the point's solve.
+	Feasible bool    `json:"feasible"`
+	Optimal  bool    `json:"optimal"`
+	Comm     int     `json:"comm,omitempty"`
+	MS       float64 `json:"ms"`
+}
+
+// SweepResult is the solved grid plus the dispatch accounting.
+type SweepResult struct {
+	Points []SweepPoint `json:"points"`
+	Cold   int          `json:"cold"`
+	Warm   int          `json:"warm"`
+	Reuse  int          `json:"reuse"`
+	// TotalMS is the sweep's wall time.
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Sweep solves the request's design-space grid sequentially, chaining
+// each point's solve off the previous one through the delta engine.
+// The sweep runs synchronously under ctx in the caller's goroutine —
+// it does not enter the job queue — and a cancelled ctx returns the
+// context error. Invalid axes and oversized grids fail before any
+// solve.
+func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResult, error) {
+	axes := req.Sweep
+	ns := axes.N
+	if len(ns) == 0 {
+		ns = []int{req.Options.N}
+	}
+	ls := axes.L
+	if len(ls) == 0 {
+		ls = []int{req.Options.L}
+	}
+	caps := axes.CapacityFG
+	if len(caps) == 0 {
+		caps = []int{req.Device.CapacityFG}
+	}
+	mems := axes.ScratchMem
+	if len(mems) == 0 {
+		mems = []int{req.Device.ScratchMem}
+	}
+	alphas := axes.Alpha
+	if len(alphas) == 0 {
+		alphas = []float64{req.Device.Alpha}
+	}
+	total := len(ns) * len(ls) * len(mems) * len(caps) * len(alphas)
+	if total > maxSweepPoints {
+		return nil, fmt.Errorf("service: sweep grid has %d points (limit %d)", total, maxSweepPoints)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.stats.sweeps++
+	s.mu.Unlock()
+
+	start := time.Now()
+	out := &SweepResult{Points: make([]SweepPoint, 0, total)}
+	for _, n := range ns {
+		for _, l := range ls {
+			// each structural cell starts a fresh warm chain: carrying a
+			// base across an N or L step would just classify structural
+			prevKey := ""
+			for _, ms := range mems {
+				for _, c := range caps {
+					for _, a := range alphas {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+						r := req.Request
+						r.Options.N, r.Options.L = n, l
+						r.Device.CapacityFG, r.Device.ScratchMem, r.Device.Alpha = c, ms, a
+						ci, err := r.compile(s.cfg.DefaultTimeout, s.cfg.DefaultParallelism)
+						if err != nil {
+							return nil, fmt.Errorf("sweep point N=%d L=%d Ms=%d C=%d alpha=%g: %w", n, l, ms, c, a, err)
+						}
+						pstart := time.Now()
+						res, info, err := s.delta.Solve(ctx, ci.key, prevKey, ci.inst, ci.opt)
+						if err != nil {
+							return nil, fmt.Errorf("sweep point N=%d L=%d Ms=%d C=%d alpha=%g: %w", n, l, ms, c, a, err)
+						}
+						if res.Cancelled {
+							return nil, context.Canceled
+						}
+						prevKey = ci.key
+						pt := SweepPoint{
+							N: n, L: l, CapacityFG: c, ScratchMem: ms, Alpha: a,
+							Class: info.Class, Path: info.Path,
+							Feasible: res.Feasible, Optimal: res.Optimal,
+							MS: durMS(time.Since(pstart)),
+						}
+						if res.Solution != nil {
+							pt.Comm = res.Solution.Comm
+						}
+						switch info.Path {
+						case "warm":
+							out.Warm++
+						case "reuse":
+							out.Reuse++
+						default:
+							out.Cold++
+						}
+						out.Points = append(out.Points, pt)
+						s.mu.Lock()
+						s.stats.sweepPoints++
+						if res != nil {
+							s.stats.nodes += uint64(res.Nodes)
+							s.stats.pivots += uint64(res.LPIterations)
+						}
+						s.mu.Unlock()
+					}
+				}
+			}
+		}
+	}
+	out.TotalMS = durMS(time.Since(start))
+	return out, nil
+}

@@ -65,6 +65,17 @@ type IncRec struct {
 	TMS  float64 `json:"t_ms,omitempty"`
 }
 
+// AmendRec is the amend-lineage stamp of a recording: which job (by
+// id) this solve amended, the amend generation (1 for the first amend
+// of a cold job), and the delta classification/path the engine
+// dispatched it down.
+type AmendRec struct {
+	Of         string `json:"of"`
+	Generation int    `json:"gen"`
+	Class      string `json:"class,omitempty"`
+	Path       string `json:"path,omitempty"`
+}
+
 // Recorder is the search-tree flight recorder: a bounded, in-memory
 // collector of NodeRec lineage and incumbent marks that snapshots into
 // a Recording. A nil *Recorder is the valid "off" state — every method
@@ -92,6 +103,7 @@ type Recorder struct {
 	total  int64
 	pivots int64
 	cert   *exact.Certificate
+	amend  *AmendRec
 }
 
 // NewRecorder returns a recorder keeping at most limit nodes;
@@ -199,6 +211,18 @@ func (r *Recorder) SetCertificate(c *exact.Certificate) {
 	r.mu.Unlock()
 }
 
+// SetAmend stamps the amend lineage onto the recording, so a replayed
+// flight recording of an amended solve names its base job and the
+// delta path that produced it. No-op on nil.
+func (r *Recorder) SetAmend(a *AmendRec) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.amend = a
+	r.mu.Unlock()
+}
+
 // Snapshot copies the current state into an immutable Recording. Safe
 // to call while the solve is still running (a partial recording) and
 // returns nil on a nil recorder.
@@ -219,6 +243,7 @@ func (r *Recorder) Snapshot() *Recording {
 		Pivots:      r.pivots,
 		Phases:      r.prof.Snapshot(),
 		Certificate: r.cert,
+		Amend:       r.amend,
 	}
 	return rec
 }
@@ -244,6 +269,9 @@ type Recording struct {
 	// inside are rational strings, so the recording stays re-checkable
 	// offline without the original model.
 	Certificate *exact.Certificate
+	// Amend is the amend lineage when the recorded solve was dispatched
+	// through /v1/jobs/{id}/amend; nil for a cold job.
+	Amend *AmendRec
 }
 
 // recLine is one NDJSON line of the codec: a kind tag plus exactly one
@@ -259,6 +287,8 @@ type recLine struct {
 	// C carries the exact certificate ("cert" lines). An additive kind:
 	// old decoders skip unknown rk values, so the codec version stays 1.
 	C *exact.Certificate `json:"c,omitempty"`
+	// A carries the amend lineage ("amend" lines) — additive like C.
+	A *AmendRec `json:"a,omitempty"`
 }
 
 type recHdr struct {
@@ -310,6 +340,11 @@ func (rec *Recording) encodePlain(w io.Writer) error {
 	}
 	if rec.Certificate != nil {
 		if err := enc.Encode(recLine{RK: "cert", C: rec.Certificate}); err != nil {
+			return err
+		}
+	}
+	if rec.Amend != nil {
+		if err := enc.Encode(recLine{RK: "amend", A: rec.Amend}); err != nil {
 			return err
 		}
 	}
@@ -373,6 +408,8 @@ func decodePlain(r io.Reader) (*Recording, error) {
 			}
 		case "cert":
 			rec.Certificate = line.C
+		case "amend":
+			rec.Amend = line.A
 		case "ftr":
 			if line.F != nil {
 				rec.Status = line.F.Status

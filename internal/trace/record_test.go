@@ -48,6 +48,7 @@ func testRecording() *Recording {
 			{Name: "node-lp", Count: 3, SumNS: 1500, Buckets: []HistBucket{{Pow: 8, N: 1}, {Pow: 10, N: 2}}},
 			{Name: "pricing", Count: 48, SumNS: 700, Buckets: []HistBucket{{Pow: 4, N: 48}}},
 		},
+		Amend: &AmendRec{Of: "job-1", Generation: 2, Class: "bounds", Path: "warm"},
 	}
 }
 

@@ -34,6 +34,17 @@ func NewRing(capacity int) *Ring {
 	}
 }
 
+// NewRingAt returns a ring whose absolute indexing starts after base:
+// the first event emitted has index base+1. An amended job's ring is
+// anchored at its parent ring's Total so SSE event ids stay monotone
+// across amend generations and a Last-Event-ID resume spans the
+// boundary.
+func NewRingAt(capacity int, base uint64) *Ring {
+	r := NewRing(capacity)
+	r.total = base
+	return r
+}
+
 // Emit appends e, dropping the oldest buffered event when full, and
 // wakes every waiter. Events emitted after Close are discarded.
 func (r *Ring) Emit(e Event) {

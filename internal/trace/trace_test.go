@@ -100,6 +100,34 @@ func TestRingWrapSinceAndClose(t *testing.T) {
 	r.Close() // idempotent
 }
 
+// TestRingAtAnchorsIndexing: an amend-generation ring anchored at the
+// parent's total continues the absolute index sequence, so a reader's
+// cursor from the parent ring resumes cleanly on the child.
+func TestRingAtAnchorsIndexing(t *testing.T) {
+	parent := NewRing(4)
+	for i := 0; i < 3; i++ {
+		parent.Emit(Event{Kind: KindNode, Nodes: int64(i + 1)})
+	}
+	child := NewRingAt(4, parent.Total())
+	if got := child.Total(); got != 3 {
+		t.Fatalf("anchored ring total = %d, want 3", got)
+	}
+	if evs, cur := child.Since(0); len(evs) != 0 || cur != 3 {
+		t.Fatalf("empty anchored ring returned %d events, cursor %d", len(evs), cur)
+	}
+	child.Emit(Event{Kind: KindNode, Nodes: 4})
+	child.Emit(Event{Kind: KindNode, Nodes: 5})
+	// a reader that stopped at parent index 3 resumes with the child's
+	// first event and monotone indices
+	evs, cur := child.Since(3)
+	if len(evs) != 2 || evs[0].Nodes != 4 || cur != 5 {
+		t.Fatalf("resume across the amend boundary got %+v (cursor %d)", evs, cur)
+	}
+	if evs, _ := child.Since(4); len(evs) != 1 || evs[0].Nodes != 5 {
+		t.Fatalf("mid-child resume got %+v", evs)
+	}
+}
+
 func TestWriterSinkNDJSON(t *testing.T) {
 	var buf bytes.Buffer
 	tr := New(NewWriterSink(&buf))
