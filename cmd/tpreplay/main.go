@@ -91,7 +91,26 @@ func printSummary(rec *trace.Recording) {
 	if rec.Dropped > 0 {
 		fmt.Printf(" (%d beyond the recording limit)", rec.Dropped)
 	}
-	fmt.Printf(", %d LP pivots\n", rec.Pivots)
+	fmt.Printf(", %d LP pivots", rec.Pivots)
+	if rec.WallNS > 0 && rec.Pivots > 0 {
+		fmt.Printf(" (%.0f pivots/s)", float64(rec.Pivots)/(float64(rec.WallNS)/1e9))
+	}
+	fmt.Println()
+	if lp := rec.LP; lp != nil && lp.Engine != "" {
+		fmt.Printf("engine:    %s", lp.Engine)
+		if lp.Factorizations > 0 {
+			fmt.Printf("; %d factorizations", lp.Factorizations)
+			if rec.Pivots > 0 {
+				fmt.Printf(" (every %.0f pivots)", float64(rec.Pivots)/float64(lp.Factorizations))
+			}
+			if lp.BasisNNZ > 0 {
+				fmt.Printf(", basis nnz %d, LU fill %.2fx", lp.BasisNNZ,
+					float64(lp.FactorNNZ)/float64(lp.BasisNNZ))
+			}
+			fmt.Printf(", %d ftran / %d btran, eta nnz %d", lp.FTRANs, lp.BTRANs, lp.EtaNNZ)
+		}
+		fmt.Println()
+	}
 	if n := len(rec.Incumbents); n > 0 {
 		first, last := rec.Incumbents[0], rec.Incumbents[n-1]
 		fmt.Printf("incumbents: %d installed; first %g at %.1f ms, best %g at %.1f ms\n",

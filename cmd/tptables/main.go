@@ -108,9 +108,14 @@ func runBenchMILP(path, trajectory string, parallel int) error {
 	}
 	fmt.Printf("== benchmilp (GOMAXPROCS=%d, parallelism=%d)\n", rep.GOMAXPROCS, rep.Parallelism)
 	for _, e := range rep.Entries {
-		fmt.Printf("%-14s serial %8v %4d nodes %6d pivots | parallel %8v %4d nodes %6d pivots | comm %2d | speedup %.2fx\n",
+		engine := e.Serial.Engine
+		if engine == "" {
+			engine = "?"
+		}
+		fmt.Printf("%-14s serial %8v %4d nodes %6d pivots (%7.0f piv/s, %5.0f ns/piv, %s) | parallel %8v %4d nodes %6d pivots | comm %2d | speedup %.2fx\n",
 			e.Name,
 			time.Duration(e.Serial.NS).Round(time.Millisecond), e.Serial.Nodes, e.Serial.LPPivots,
+			e.Serial.PivotsPerSec, e.Serial.NSPerPivot, engine,
 			time.Duration(e.Parallel.NS).Round(time.Millisecond), e.Parallel.Nodes, e.Parallel.LPPivots,
 			e.Serial.Comm, e.Speedup)
 	}

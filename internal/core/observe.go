@@ -42,11 +42,16 @@ func (m *Model) emitModelEvent() {
 	if !tr.Enabled() {
 		return
 	}
+	density := 0.0
+	if m.stats.Vars > 0 && m.stats.Rows > 0 {
+		density = float64(m.stats.NNZ) / (float64(m.stats.Vars) * float64(m.stats.Rows))
+	}
 	tr.Emit(trace.Event{
 		Kind:     trace.KindModel,
 		Vars:     m.stats.Vars,
 		Rows:     m.stats.Rows,
 		NNZ:      m.stats.NNZ,
+		Density:  density,
 		Families: m.familyStats(),
 		Msg: fmt.Sprintf("N=%d L=%d lin=%s tightened=%t",
 			m.N, m.Opt.L, m.Opt.Linearization, m.Opt.Tightened),

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/library"
+	"repro/internal/lp"
 	"repro/internal/trace"
 )
 
@@ -239,6 +240,14 @@ type Options struct {
 	// by the service's canonical cache key — like Parallelism, it cannot
 	// change the reported solution.
 	ParallelThreshold int `json:"parallel_threshold,omitempty"`
+	// LPEngine selects the LP engine for the branch-and-bound
+	// relaxations: "" or "auto" applies the density × size heuristic of
+	// lp.ChooseEngine (sparse revised simplex for large sparse models,
+	// dense tableau otherwise), "dense" and "revised" force either.
+	// Part of the wire form and the service cache key — the engines
+	// agree on verdicts (differentially fuzzed) but not on pivot counts
+	// or runtimes, so a forced-engine job is its own cache entry.
+	LPEngine string `json:"lp_engine,omitempty"`
 	// Certify enables the exact-arithmetic audit mode: the MILP verdict
 	// is re-verified in rational arithmetic (internal/exact) and the
 	// resulting certificate attached to Result.Certificate, the flight
@@ -288,6 +297,9 @@ func (o Options) Validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("core: negative parallelism %d", o.Parallelism)
+	}
+	if _, err := lp.ParseEngine(o.LPEngine); err != nil {
+		return err
 	}
 	return nil
 }

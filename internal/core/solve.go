@@ -46,6 +46,11 @@ type Result struct {
 	// never enter the MILP and carry none). Already checked; see
 	// Certificate.Valid / Err().
 	Certificate *exact.Certificate
+	// LPEngine names the LP engine the branch-and-bound relaxations ran
+	// on ("dense" or "revised") — the resolution of Options.LPEngine's
+	// auto heuristic. Empty on paths that never enter the MILP search
+	// (exact-sweep early exit, presolve-proved infeasibility).
+	LPEngine string
 }
 
 // Solve runs branch and bound on the generated model with the
@@ -96,7 +101,13 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 	if m.ApplyPresolve() {
 		return &Result{Stats: m.Stats(), Optimal: true}, nil
 	}
+	// Validate rejected unknown names; "" resolves to lp.EngineAuto.
+	engine, err := lp.ParseEngine(m.Opt.LPEngine)
+	if err != nil {
+		return nil, err
+	}
 	mopt := milp.Options{
+		Engine:            engine,
 		IntVars:           m.intVars,
 		Brancher:          brancher,
 		ObjIntegral:       true,
@@ -189,6 +200,7 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 		LPIterations: sweepPivots + res.LPIterations,
 		Runtime:      time.Since(solveStart), // includes sweep/settle time
 		Certificate:  res.Certificate,
+		LPEngine:     res.LPEngine.String(),
 	}
 	if out.Certificate != nil {
 		out.Certificate.Label = m.Inst.Graph.Name

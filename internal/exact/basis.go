@@ -183,12 +183,18 @@ func (c *Certificate) checkBasis(p *parsed) *big.Rat {
 			}
 		case PosLower:
 			if d[j].Sign() < 0 {
+				if lo, hi := extLo(j), extHi(j); lo.finite() && hi.finite() && lo.r.Cmp(hi.r) == 0 {
+					break // fixed variable: it cannot move, any sign is optimal
+				}
 				c.add("basis-dual", false,
 					fmt.Sprintf("variable %d at lower bound has reduced cost %s < 0", j, d[j].RatString()))
 				dualOK = false
 			}
 		case PosUpper:
 			if d[j].Sign() > 0 {
+				if lo, hi := extLo(j), extHi(j); lo.finite() && hi.finite() && lo.r.Cmp(hi.r) == 0 {
+					break // fixed variable: it cannot move, any sign is optimal
+				}
 				c.add("basis-dual", false,
 					fmt.Sprintf("variable %d at upper bound has reduced cost %s > 0", j, d[j].RatString()))
 				dualOK = false

@@ -177,6 +177,19 @@ func (c *Certificate) Check() {
 	if len(c.Basis) > 0 {
 		if lpObj := c.checkBasis(p); lpObj != nil {
 			bound = c.roundBound(lpObj)
+			// A fully verified basis (primal + dual feasibility +
+			// slackness) pins the exact optimal point of the LP itself.
+			// With no integrality constraints that point IS the
+			// incumbent, so a pure-LP certificate may omit X — whose
+			// float images of high-denominator vertex coordinates could
+			// not be recovered exactly anyway — and let the basis
+			// serve as the optimality witness.
+			if xObj == nil && len(c.X) == 0 && len(c.IntVars) == 0 && c.Kind == KindOptimal {
+				if c.reconcileObjective(lpObj) {
+					xObj = lpObj
+					c.ExactObjective = lpObj.RatString()
+				}
+			}
 		}
 	}
 	if len(c.DualY) > 0 {
@@ -215,6 +228,26 @@ func (c *Certificate) Check() {
 			c.Valid = false
 		}
 	}
+}
+
+// reconcileObjective checks the claimed Objective against an exactly
+// proved basic-point objective, mirroring the incumbent-objective
+// reconciliation: exact equality under ObjIntegral, relative tolerance
+// otherwise (the claim is a float image of the exact value).
+func (c *Certificate) reconcileObjective(obj *big.Rat) bool {
+	if c.Objective == "" {
+		return c.add("basis-incumbent", false, "no claimed objective to reconcile with the basic point")
+	}
+	claimed, err := parseNum(c.Objective)
+	if err != nil || !claimed.finite() {
+		return c.add("basis-incumbent", false, fmt.Sprintf("claimed objective %q is not a finite rational", c.Objective))
+	}
+	ok := withinRel(obj, claimed.r)
+	if c.ObjIntegral {
+		ok = obj.Cmp(claimed.r) == 0
+	}
+	return c.add("basis-incumbent", ok,
+		fmt.Sprintf("basic point objective %s vs claimed %s", obj.RatString(), claimed.r.RatString()))
 }
 
 // roundBound applies the integral-objective rounding to a proved lower

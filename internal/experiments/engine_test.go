@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+// TestSuiteSelectsRevisedEngine pins the engine gate to the suite: every
+// generated suite model is large and sparse (density around 1-3%), so
+// lp.ChooseEngine must route all of them to the sparse revised engine —
+// the instances the dense->revised migration was built for. A gate
+// regression (e.g. a threshold change that silently sends fir16 back to
+// the dense tableau) fails here, not in a wall-time chart.
+func TestSuiteSelectsRevisedEngine(t *testing.T) {
+	suite, err := MILPBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range suite {
+		m, err := core.Build(e.Inst, e.Opt)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		st := m.Stats()
+		if eng := lp.ChooseEngine(st.Vars, st.Rows, st.NNZ); eng != lp.EngineRevised {
+			t.Errorf("%s (vars=%d rows=%d nnz=%d): ChooseEngine = %v, want revised",
+				e.Name, st.Vars, st.Rows, st.NNZ, eng)
+		}
+	}
+}
+
+// TestEnginesAgreeOnSuiteInstance solves the easiest suite entry with
+// both engines forced and cross-checks the verdict — the end-to-end
+// companion of internal/lp's differential fuzz, through model build,
+// branch and bound and solution extraction.
+func TestEnginesAgreeOnSuiteInstance(t *testing.T) {
+	suite, err := MILPBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := suite[0] // diffeq/N2L2
+	type verdict struct {
+		feasible, optimal bool
+		comm, nodes       int
+	}
+	got := map[string]verdict{}
+	for _, eng := range []string{"dense", "revised"} {
+		opt := e.Opt
+		opt.LPEngine = eng
+		res, err := core.SolveInstance(e.Inst, opt)
+		if err != nil {
+			t.Fatalf("%s %s: %v", e.Name, eng, err)
+		}
+		if res.LPEngine != eng {
+			t.Fatalf("%s: forced engine %q but solve reports %q", e.Name, eng, res.LPEngine)
+		}
+		v := verdict{feasible: res.Feasible, optimal: res.Optimal, nodes: res.Nodes}
+		if res.Solution != nil {
+			v.comm = res.Solution.Comm
+		}
+		got[eng] = v
+	}
+	d, r := got["dense"], got["revised"]
+	if d.feasible != r.feasible || d.optimal != r.optimal || d.comm != r.comm {
+		t.Fatalf("engines disagree on %s: dense %+v, revised %+v", e.Name, d, r)
+	}
+}

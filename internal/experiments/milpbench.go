@@ -23,14 +23,20 @@ type MILPBenchEntry struct {
 	Opt  core.Options
 }
 
-// MILPRunStats records one solve of a suite entry.
+// MILPRunStats records one solve of a suite entry. PivotsPerSec and
+// NSPerPivot are the derived pivot-throughput numbers the trajectory
+// series tracks across engine changes; Engine names the LP engine the
+// run selected (dense tableau or sparse revised simplex).
 type MILPRunStats struct {
-	NS       int64 `json:"ns"`
-	Nodes    int   `json:"nodes"`
-	LPPivots int   `json:"lp_pivots"`
-	Comm     int   `json:"comm"`
-	Feasible bool  `json:"feasible"`
-	Optimal  bool  `json:"optimal"`
+	NS           int64   `json:"ns"`
+	Nodes        int     `json:"nodes"`
+	LPPivots     int     `json:"lp_pivots"`
+	PivotsPerSec float64 `json:"pivots_per_sec,omitempty"`
+	NSPerPivot   float64 `json:"ns_per_pivot,omitempty"`
+	Engine       string  `json:"engine,omitempty"`
+	Comm         int     `json:"comm"`
+	Feasible     bool    `json:"feasible"`
+	Optimal      bool    `json:"optimal"`
 }
 
 // MILPBenchResult pairs the serial and parallel solves of one entry.
@@ -121,8 +127,13 @@ func runMILPEntry(e MILPBenchEntry, parallelism int) (MILPRunStats, error) {
 		NS:       time.Since(start).Nanoseconds(),
 		Nodes:    res.Nodes,
 		LPPivots: res.LPIterations,
+		Engine:   res.LPEngine,
 		Feasible: res.Feasible,
 		Optimal:  res.Optimal,
+	}
+	if st.NS > 0 && st.LPPivots > 0 {
+		st.PivotsPerSec = float64(st.LPPivots) / (float64(st.NS) / 1e9)
+		st.NSPerPivot = float64(st.NS) / float64(st.LPPivots)
 	}
 	if res.Feasible {
 		st.Comm = res.Solution.Comm

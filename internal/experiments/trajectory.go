@@ -21,6 +21,14 @@ type TrajectoryResult struct {
 	// Nodes is the serial node count: a model or solver change that
 	// alters the search tree shows here even when wall time hides it.
 	Nodes int `json:"nodes"`
+	// Pivots, PivotsPerSec and NSPerPivot track the serial run's simplex
+	// throughput — the numbers an LP-engine change (dense tableau vs
+	// sparse revised simplex) moves even when the tree is unchanged.
+	// Engine names the LP engine the serial run selected.
+	Pivots       int     `json:"pivots,omitempty"`
+	PivotsPerSec float64 `json:"pivots_per_sec,omitempty"`
+	NSPerPivot   float64 `json:"ns_per_pivot,omitempty"`
+	Engine       string  `json:"engine,omitempty"`
 }
 
 // SweepTrajectory distills one -sweepbench run: total warm-chained vs
@@ -58,11 +66,15 @@ func distillTrajectory(date string, rep MILPBenchReport) TrajectoryEntry {
 	}
 	for _, r := range rep.Entries {
 		e.Results = append(e.Results, TrajectoryResult{
-			Name:       r.Name,
-			SerialMS:   float64(r.Serial.NS) / 1e6,
-			ParallelMS: float64(r.Parallel.NS) / 1e6,
-			Speedup:    r.Speedup,
-			Nodes:      r.Serial.Nodes,
+			Name:         r.Name,
+			SerialMS:     float64(r.Serial.NS) / 1e6,
+			ParallelMS:   float64(r.Parallel.NS) / 1e6,
+			Speedup:      r.Speedup,
+			Nodes:        r.Serial.Nodes,
+			Pivots:       r.Serial.LPPivots,
+			PivotsPerSec: r.Serial.PivotsPerSec,
+			NSPerPivot:   r.Serial.NSPerPivot,
+			Engine:       r.Serial.Engine,
 		})
 	}
 	return e

@@ -2,19 +2,26 @@ package lp
 
 import "fmt"
 
-// Clone returns an independent deep copy of the solver: tableau, basis,
-// bounds, basic values, nonbasic statuses and reduced costs. Parent and
-// clone may solve concurrently afterwards — only the immutable original
-// row data is shared. This is the primitive the parallel branch-and-
-// bound workers in internal/milp build on: clone once per worker, then
-// branch with SetBound/ReOptimize as usual.
+// Clone returns an independent deep copy of the solver: tableau (or
+// revised-engine state), basis, bounds, basic values, nonbasic statuses
+// and reduced costs. Parent and clone may solve concurrently afterwards
+// — only the immutable original row data (and, on the revised engine,
+// its column-form copy) is shared. This is the primitive the parallel
+// branch-and-bound workers in internal/milp build on: clone once per
+// worker, then branch with SetBound/ReOptimize as usual.
+//
+// On the revised engine the LU factors themselves are not copied: the
+// clone carries the full logical state (basis, beta, d, devex weights)
+// and refactorizes lazily on first use. A refactorization is a rebuild,
+// not a pivot, so the warm-start contract — re-optimizing an optimal
+// state takes zero pivots — holds on both engines.
 //
 // The clone starts with Iterations = 0 and zeroed Counters so callers
 // can attribute work per worker; MaxIter, Deadline, Ctx and Prof carry
 // over (the phase profile's buckets are atomic, so parent and clone
 // record into the shared profile safely).
 func (s *Solver) Clone() *Solver {
-	return &Solver{
+	c := &Solver{
 		n: s.n, m: s.m, ntot: s.ntot,
 		c:        append([]float64(nil), s.c...),
 		lo:       append([]float64(nil), s.lo...),
@@ -35,12 +42,22 @@ func (s *Solver) Clone() *Solver {
 		Ctx:      s.Ctx,
 		Prof:     s.Prof,
 	}
+	if s.rev != nil {
+		rv := newRevisedState(s.n, s.m, s.rev.a) // column copy shared
+		copy(rv.wts, s.rev.wts)
+		rv.devexReset = s.rev.devexReset
+		rv.stale = true // factorize lazily at first use
+		c.rev = rv
+	}
+	return c
 }
 
-// Snapshot captures the solver's bounds and basis — including the
-// factorized tableau, which IS the basis representation in this dense
-// formulation — so the exact state can be reinstated later with
-// Restore. Unlike Clone, a Snapshot is not a usable solver; it is a
+// Snapshot captures the solver's bounds and basis so the exact state
+// can be reinstated later with Restore. On the dense engine that
+// includes the factorized tableau — which IS the basis representation —
+// while the revised engine records the logical state (basis rows, basic
+// values, reduced costs, devex weights) and lets Restore refactorize
+// lazily. Unlike Clone, a Snapshot is not a usable solver; it is a
 // reusable buffer, and restoring into the owning solver is allocation-
 // free. The intended pattern is a worker that anchors itself once at a
 // known-good state (say the solved root relaxation) and re-anchors
@@ -56,6 +73,7 @@ type Snapshot struct {
 	vstat  []varStatus
 	nbVal  []float64
 	d      []float64
+	wts    []float64 // revised engine only; nil on dense
 	status Status
 	bland  bool
 	degRun int
@@ -63,7 +81,7 @@ type Snapshot struct {
 
 // Snapshot captures the current state into a new snapshot buffer.
 func (s *Solver) Snapshot() *Snapshot {
-	return &Snapshot{
+	sn := &Snapshot{
 		n: s.n, m: s.m,
 		c:      append([]float64(nil), s.c...),
 		lo:     append([]float64(nil), s.lo...),
@@ -79,12 +97,17 @@ func (s *Solver) Snapshot() *Snapshot {
 		bland:  s.bland,
 		degRun: s.degRun,
 	}
+	if s.rev != nil {
+		sn.wts = append([]float64(nil), s.rev.wts...)
+	}
+	return sn
 }
 
 // Restore reinstates a state previously captured with Snapshot on this
 // solver (or on the solver this one was cloned from). It copies into
-// the solver's existing arrays without allocating. Restore panics if
-// the snapshot's dimensions do not match.
+// the solver's existing arrays without allocating; on the revised
+// engine the factors are marked stale and rebuilt lazily at the next
+// solve. Restore panics if the snapshot's dimensions do not match.
 func (s *Solver) Restore(sn *Snapshot) {
 	if sn.n != s.n || sn.m != s.m {
 		panic(fmt.Sprintf("lp: Restore: snapshot is %dx%d, solver is %dx%d",
@@ -106,4 +129,9 @@ func (s *Solver) Restore(sn *Snapshot) {
 	// pricing candidates refer to the replaced state; drop them
 	s.pCand = s.pCand[:0]
 	s.dCand = s.dCand[:0]
+	if s.rev != nil {
+		copy(s.rev.wts, sn.wts)
+		s.rev.stale = true
+		s.rev.betaStale = false // beta restored exactly above
+	}
 }

@@ -448,6 +448,15 @@ func (s *Solver) ratioDual(r int, below bool) int {
 // negligible next to a single dense pivot.
 func (s *Solver) farkasCertified(r int) bool {
 	trow := s.tab[r*s.ntot : (r+1)*s.ntot]
+	return s.certifyRay(trow[s.n : s.n+s.m])
+}
+
+// certifyRay is the engine-independent core of Farkas certification:
+// given the candidate row multipliers y (the dense engine reads them
+// out of the tableau's logical columns, the revised engine hands over
+// the BTRAN'd unit vector directly), it recomputes w = y^T [A|I] from
+// the original rows and interval-evaluates it over the bound box.
+func (s *Solver) certifyRay(yv []float64) bool {
 	if s.CaptureFarkas {
 		// keep the multipliers for exact offline replay (FarkasRay)
 		// even when the float check below rejects them: the exact
@@ -461,7 +470,7 @@ func (s *Solver) farkasCertified(r int) bool {
 			s.farkasRay = make([]float64, s.m)
 		}
 		s.farkasRay = s.farkasRay[:s.m]
-		copy(s.farkasRay, trow[s.n:s.n+s.m])
+		copy(s.farkasRay, yv)
 	}
 	if cap(s.fbuf) < s.ntot {
 		s.fbuf = make([]float64, s.ntot)
@@ -471,7 +480,7 @@ func (s *Solver) farkasCertified(r int) bool {
 		w[j] = 0
 	}
 	for i := 0; i < s.m; i++ {
-		y := trow[s.n+i]
+		y := yv[i]
 		if y == 0 {
 			continue
 		}

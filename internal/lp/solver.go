@@ -65,6 +65,21 @@ type Counters struct {
 	// the cached candidate list without any window scan.
 	WindowScans   int64
 	CandidateHits int64
+	// Revised-engine counters; all stay zero on the dense engine.
+	// Factorizations counts sparse LU (re)builds of the basis; FTRANs
+	// and BTRANs the forward/backward factor solves; EtaNNZ the
+	// product-form update entries appended over the lifetime (EtaNNZ /
+	// Factorizations approximates fill per refactorization interval).
+	Factorizations int64
+	FTRANs         int64
+	BTRANs         int64
+	EtaNNZ         int64
+	// BasisNNZ and FactorNNZ are gauges sampled at the last
+	// factorization: nonzeros of the basis columns and of its L+U
+	// factors. FactorNNZ/BasisNNZ is the fill-in ratio. Aggregation
+	// keeps the maximum (the dominant worker's basis).
+	BasisNNZ  int64
+	FactorNNZ int64
 }
 
 // Add accumulates o into c (used to aggregate per-worker solvers).
@@ -74,6 +89,16 @@ func (c *Counters) Add(o Counters) {
 	c.FarkasRejected += o.FarkasRejected
 	c.WindowScans += o.WindowScans
 	c.CandidateHits += o.CandidateHits
+	c.Factorizations += o.Factorizations
+	c.FTRANs += o.FTRANs
+	c.BTRANs += o.BTRANs
+	c.EtaNNZ += o.EtaNNZ
+	if o.BasisNNZ > c.BasisNNZ {
+		c.BasisNNZ = o.BasisNNZ
+	}
+	if o.FactorNNZ > c.FactorNNZ {
+		c.FactorNNZ = o.FactorNNZ
+	}
 }
 
 type varStatus int8
@@ -99,7 +124,8 @@ type Solver struct {
 
 	c      []float64 // costs, logical costs are 0
 	lo, hi []float64 // current bounds, logical bounds encode row ranges
-	tab    []float64 // dense m x ntot tableau, row-major: B^{-1} A
+	tab    []float64 // dense engine: m x ntot tableau, row-major B^{-1}A; nil on revised
+	rev    *revisedState // revised engine: sparse columns + LU basis; nil on dense
 	beta   []float64 // values of basic variables per row
 	basis  []int     // variable basic in each row
 	inRow  []int     // row of a basic variable, -1 if nonbasic
@@ -162,10 +188,18 @@ type Solver struct {
 	farkasRay     []float64
 }
 
-// NewSolver builds a solver for p. The problem must have at least one
-// variable. Row data is copied; the solver is independent of later
-// changes to p.
+// NewSolver builds a solver for p with the engine chosen per problem
+// (ChooseEngine). The problem must have at least one variable. Row data
+// is copied; the solver is independent of later changes to p.
 func NewSolver(p *Problem) (*Solver, error) {
+	return NewSolverEngine(p, EngineAuto)
+}
+
+// NewSolverEngine builds a solver for p backed by a specific simplex
+// engine; EngineAuto applies the ChooseEngine heuristic. Both engines
+// honor every Solver contract — the choice trades pivot cost
+// (dense O(m·n) elimination vs sparse factor solves) only.
+func NewSolverEngine(p *Problem, e Engine) (*Solver, error) {
 	n, m := p.NumVars(), p.NumRows()
 	if n == 0 {
 		return nil, fmt.Errorf("lp: empty problem")
@@ -197,7 +231,18 @@ func NewSolver(p *Problem) (*Solver, error) {
 			return nil, fmt.Errorf("lp: variable %d has empty bound range", j)
 		}
 	}
-	s.tab = make([]float64, m*s.ntot)
+	if e == EngineAuto {
+		nnz := 0
+		for i := range s.origRows {
+			nnz += len(s.origRows[i].idx)
+		}
+		e = ChooseEngine(n, m, nnz)
+	}
+	if e == EngineRevised {
+		s.rev = newRevisedState(n, m, buildCSC(n, s.origRows))
+	} else {
+		s.tab = make([]float64, m*s.ntot)
+	}
 	s.reset()
 	return s, nil
 }
@@ -205,6 +250,10 @@ func NewSolver(p *Problem) (*Solver, error) {
 // reset restores the all-logical basis with nonbasic structural
 // variables at cost-favourable bounds.
 func (s *Solver) reset() {
+	if s.rev != nil {
+		s.revReset()
+		return
+	}
 	var t0 time.Time
 	if s.Prof != nil {
 		t0 = time.Now()
@@ -405,6 +454,13 @@ func (s *Solver) SetObj(j int, c float64) {
 	// j basic in row r: every reduced cost shifts by -dc * tab[r][·];
 	// d[j] itself nets to zero (+dc from c, -dc from tab[r][j] = 1), and
 	// other basic columns keep their zero since tab[r][basic k≠j] = 0.
+	if s.rev != nil {
+		if !s.revSetObjBasic(j, dc) {
+			s.reset() // singular stale basis; reset rebuilds d from c
+		}
+		s.status = StatusUnknown
+		return
+	}
 	trow := s.tab[s.inRow[j]*s.ntot : (s.inRow[j]+1)*s.ntot]
 	for k := 0; k < s.ntot; k++ {
 		if trow[k] != 0 {
@@ -443,6 +499,10 @@ func (s *Solver) Dims() (vars, rows int) { return s.n, s.m }
 // shiftNonbasic adjusts basic values after nonbasic variable j moved by
 // delta.
 func (s *Solver) shiftNonbasic(j int, delta float64) {
+	if s.rev != nil {
+		s.revShiftNonbasic(j, delta)
+		return
+	}
 	for i := 0; i < s.m; i++ {
 		if a := s.tab[i*s.ntot+j]; a != 0 {
 			s.beta[i] -= a * delta
@@ -498,6 +558,11 @@ func (s *Solver) optimize() Status {
 	if s.CaptureFarkas {
 		s.farkasRay = s.farkasRay[:0]
 	}
+	if s.rev != nil && !s.revEnsure() {
+		// a Clone/Restore recorded a basis the factorization now rejects
+		// as singular (pure-roundoff pathology); restart cold
+		s.reset()
+	}
 	st := s.runSimplex()
 	if st == statusSuspect {
 		s.reset()
@@ -527,16 +592,32 @@ func (s *Solver) runSimplex() Status {
 	case primalOK && dualOK:
 		st = StatusOptimal
 	case dualOK:
-		st = s.dualSimplex()
+		st = s.dualLoop()
 	case primalOK:
-		st = s.primalSimplex()
+		st = s.primalLoop()
 	default:
 		st = s.phase1()
 		if st == StatusOptimal {
-			st = s.primalSimplex()
+			st = s.primalLoop()
 		}
 	}
 	return st
+}
+
+// primalLoop and dualLoop dispatch a pivoting run to the engine backing
+// this solver.
+func (s *Solver) primalLoop() Status {
+	if s.rev != nil {
+		return s.revPrimalSimplex()
+	}
+	return s.primalSimplex()
+}
+
+func (s *Solver) dualLoop() Status {
+	if s.rev != nil {
+		return s.revDualSimplex()
+	}
+	return s.dualSimplex()
 }
 
 func (s *Solver) primalFeasible() bool {
@@ -576,7 +657,11 @@ func (s *Solver) phase1() Status {
 	for j := range s.d {
 		s.d[j] = 0
 	}
-	st := s.dualSimplex()
+	st := s.dualLoop()
+	if s.rev != nil {
+		s.revRestoreDuals()
+		return st
+	}
 	// restore d = c - c_B^T (B^{-1} A)
 	copy(s.d, s.c)
 	for i := 0; i < s.m; i++ {

@@ -198,6 +198,15 @@ type Options struct {
 	// synchronously; not called when the root is infeasible or hits a
 	// limit.
 	OnRoot func(*lp.Solver)
+	// Engine selects the LP engine for the solver built here (ignored
+	// when Warm supplies one): the zero value lp.EngineAuto applies the
+	// density × size heuristic of lp.ChooseEngine, picking the sparse
+	// revised engine for large sparse models and the dense tableau —
+	// also the differential-fuzz oracle — for small or dense ones.
+	// lp.EngineDense / lp.EngineRevised force either. The engine that
+	// actually ran is reported in Result.LPEngine and on the terminal
+	// status trace event.
+	Engine lp.Engine
 	// ParallelThreshold gates Parallelism behind a cheap root-size
 	// estimate: when the root tableau has fewer than this many cells
 	// (rows × (rows + columns)), or GOMAXPROCS < 2, or the root LP has
@@ -232,6 +241,10 @@ type Result struct {
 	// certifiable (limit statuses without an incumbent carry none). It
 	// has already been checked; inspect Certificate.Valid / Err().
 	Certificate *exact.Certificate
+	// LPEngine is the LP engine the search ran on (dense tableau or
+	// sparse revised simplex) — the resolution of Options.Engine's auto
+	// heuristic, or the engine of the Warm solver.
+	LPEngine lp.Engine
 }
 
 // stopReason records why the search stopped early, so the final status
@@ -315,7 +328,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		}
 	} else {
 		var err error
-		if lps, err = lp.NewSolver(p); err != nil {
+		if lps, err = lp.NewSolverEngine(p, opt.Engine); err != nil {
 			return nil, err
 		}
 	}
@@ -366,7 +379,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 	if err := ctx.Err(); err != nil {
 		// cancelled before any work: report it without touching the
 		// problem (a dead context must not race root-LP infeasibility)
-		res := &Result{BestBound: math.Inf(-1), Status: StatusLimit}
+		res := &Result{BestBound: math.Inf(-1), Status: StatusLimit, LPEngine: lps.EngineKind()}
 		if context.Cause(ctx) == context.Canceled {
 			res.Status = StatusCancelled
 		}
@@ -388,7 +401,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		rootMeta.ns = time.Since(t0).Nanoseconds()
 		s.prof.Observe(trace.PhaseNodeLP, rootMeta.ns)
 	}
-	res := &Result{BestBound: math.Inf(-1)}
+	res := &Result{BestBound: math.Inf(-1), LPEngine: lps.EngineKind()}
 	switch rootStatus {
 	case lp.StatusInfeasible:
 		res.Status = StatusInfeasible
@@ -400,6 +413,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		if s.rec.Enabled() {
 			s.rec.Node(trace.NodeRec{ID: 1, Col: -1, LP: "infeasible",
 				Pivots: rootMeta.pivots, NS: rootMeta.ns})
+			s.rec.SetLPStat(lpStatOf(lps))
 			s.rec.Finalize(res.Status.String(), res.Runtime, 1, int64(res.LPIterations))
 		}
 		return res, nil
@@ -417,6 +431,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		if s.rec.Enabled() {
 			s.rec.Node(trace.NodeRec{ID: 1, Col: -1, LP: "iteration-limit",
 				Pivots: rootMeta.pivots, NS: rootMeta.ns})
+			s.rec.SetLPStat(lpStatOf(lps))
 			s.rec.Finalize(res.Status.String(), res.Runtime, 1, int64(res.LPIterations))
 		}
 		return res, nil
@@ -491,6 +506,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		s.attachCertificate(p, res, rw)
 	}
 	if s.rec.Enabled() {
+		s.rec.SetLPStat(lpStatOf(lps))
 		s.rec.Finalize(res.Status.String(), res.Runtime, int64(res.Nodes), int64(res.LPIterations))
 	}
 	if s.sh.tr != nil {
@@ -505,7 +521,17 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 			FarkasRejected:   lps.Counters.FarkasRejected,
 			WindowScans:      lps.Counters.WindowScans,
 			CandidateHits:    lps.Counters.CandidateHits,
+			Engine:           lps.EngineKind().String(),
+			Factorizations:   lps.Counters.Factorizations,
+			FTRANs:           lps.Counters.FTRANs,
+			BTRANs:           lps.Counters.BTRANs,
+			EtaNNZ:           lps.Counters.EtaNNZ,
+			BasisNNZ:         lps.Counters.BasisNNZ,
+			FactorNNZ:        lps.Counters.FactorNNZ,
 			Bound:            s.sh.displayBound(),
+		}
+		if lps.Counters.BasisNNZ > 0 {
+			e.FillIn = float64(lps.Counters.FactorNNZ) / float64(lps.Counters.BasisNNZ)
 		}
 		if res.X != nil {
 			e.HasIncumbent = true
@@ -515,6 +541,22 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		s.sh.tr.Emit(e)
 	}
 	return res, nil
+}
+
+// lpStatOf summarizes the LP engine that ran — its kind and the
+// factorization/solve counters — for the recording footer (replay
+// tools derive fill-in and the realized refactorization interval from
+// it offline).
+func lpStatOf(lps *lp.Solver) trace.LPStat {
+	return trace.LPStat{
+		Engine:         lps.EngineKind().String(),
+		Factorizations: lps.Counters.Factorizations,
+		FTRANs:         lps.Counters.FTRANs,
+		BTRANs:         lps.Counters.BTRANs,
+		EtaNNZ:         lps.Counters.EtaNNZ,
+		BasisNNZ:       lps.Counters.BasisNNZ,
+		FactorNNZ:      lps.Counters.FactorNNZ,
+	}
 }
 
 // bound returns the pruning bound of the current LP objective,

@@ -18,12 +18,21 @@ package trace
 //
 //	pricing       — entering-variable/leaving-row pricing scans
 //	ratio-test    — primal and dual ratio tests
-//	pivot-update  — the dense tableau elimination of a pivot
+//	pivot-update  — the pivot's state update (dense tableau elimination,
+//	                or the revised engine's beta/reduced-cost/eta update)
 //	refactorize   — tableau rebuilds from original row data
 //	farkas        — Farkas certification of infeasibility verdicts
+//	ftran         — revised engine: forward solves B^{-1} a (entering
+//	                columns, bound-shift column solves)
+//	btran         — revised engine: backward solves B^{-T} e_r and the
+//	                pivot-row scatter they feed
+//	factorize     — revised engine: sparse LU (re)factorizations of the
+//	                basis (the dense engine's rebuilds stay under
+//	                refactorize)
 type Phase int
 
 // Phases, grouped by level. NumPhases bounds the enum for array sizing.
+// New phases are appended so recorded phase indices stay stable.
 const (
 	PhaseNodeLP Phase = iota
 	PhaseProbe
@@ -35,6 +44,9 @@ const (
 	PhaseUpdate
 	PhaseRefactorize
 	PhaseFarkas
+	PhaseFTRAN
+	PhaseBTRAN
+	PhaseFactorize
 	NumPhases
 )
 
@@ -49,6 +61,9 @@ var phaseNames = [NumPhases]string{
 	PhaseUpdate:       "pivot-update",
 	PhaseRefactorize:  "refactorize",
 	PhaseFarkas:       "farkas",
+	PhaseFTRAN:        "ftran",
+	PhaseBTRAN:        "btran",
+	PhaseFactorize:    "factorize",
 }
 
 func (p Phase) String() string {

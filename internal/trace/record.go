@@ -65,6 +65,23 @@ type IncRec struct {
 	TMS  float64 `json:"t_ms,omitempty"`
 }
 
+// LPStat is the LP-engine summary stamped into a recording footer:
+// which engine ran (dense tableau or sparse revised simplex) and, on
+// the revised engine, the factorization/solve counters that let replay
+// analysis derive fill-in (FactorNNZ / BasisNNZ) and the realized
+// refactorization interval (pivots / Factorizations) offline. Mirrors
+// lp.Counters without importing it (lp depends on trace, not the
+// reverse).
+type LPStat struct {
+	Engine         string `json:"engine,omitempty"`
+	Factorizations int64  `json:"factorizations,omitempty"`
+	FTRANs         int64  `json:"ftrans,omitempty"`
+	BTRANs         int64  `json:"btrans,omitempty"`
+	EtaNNZ         int64  `json:"eta_nnz,omitempty"`
+	BasisNNZ       int64  `json:"basis_nnz,omitempty"`
+	FactorNNZ      int64  `json:"factor_nnz,omitempty"`
+}
+
 // AmendRec is the amend-lineage stamp of a recording: which job (by
 // id) this solve amended, the amend generation (1 for the first amend
 // of a cold job), and the delta classification/path the engine
@@ -104,6 +121,7 @@ type Recorder struct {
 	pivots int64
 	cert   *exact.Certificate
 	amend  *AmendRec
+	lpstat *LPStat
 }
 
 // NewRecorder returns a recorder keeping at most limit nodes;
@@ -199,6 +217,17 @@ func (r *Recorder) Finalize(status string, wall time.Duration, nodes, pivots int
 	r.mu.Unlock()
 }
 
+// SetLPStat stamps the LP-engine summary onto the recording footer.
+// No-op on nil.
+func (r *Recorder) SetLPStat(s LPStat) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.lpstat = &s
+	r.mu.Unlock()
+}
+
 // SetCertificate attaches the exact certificate of the solve's verdict
 // so the recording is self-certifying: tpreplay -certify re-runs the
 // checks offline from the recording alone. No-op on nil.
@@ -244,6 +273,7 @@ func (r *Recorder) Snapshot() *Recording {
 		Phases:      r.prof.Snapshot(),
 		Certificate: r.cert,
 		Amend:       r.amend,
+		LP:          r.lpstat,
 	}
 	return rec
 }
@@ -272,6 +302,10 @@ type Recording struct {
 	// Amend is the amend lineage when the recorded solve was dispatched
 	// through /v1/jobs/{id}/amend; nil for a cold job.
 	Amend *AmendRec
+	// LP is the LP-engine summary of the recorded solve (engine name,
+	// factorization/solve counters); nil on recordings made before the
+	// field existed.
+	LP *LPStat
 }
 
 // recLine is one NDJSON line of the codec: a kind tag plus exactly one
@@ -303,6 +337,8 @@ type recFooter struct {
 	Pivots  int64       `json:"pivots,omitempty"`
 	Dropped int64       `json:"dropped,omitempty"`
 	Phases  []PhaseStat `json:"phases,omitempty"`
+	// LP is additive: absent on old recordings, skipped by old decoders.
+	LP *LPStat `json:"lp,omitempty"`
 }
 
 // Encode writes the recording as NDJSON, gzip-compressed when compress
@@ -351,6 +387,7 @@ func (rec *Recording) encodePlain(w io.Writer) error {
 	f := &recFooter{
 		Status: rec.Status, WallNS: rec.WallNS, Nodes: rec.TotalNodes,
 		Pivots: rec.Pivots, Dropped: rec.Dropped, Phases: rec.Phases,
+		LP: rec.LP,
 	}
 	if err := enc.Encode(recLine{RK: "ftr", F: f}); err != nil {
 		return err
@@ -418,6 +455,7 @@ func decodePlain(r io.Reader) (*Recording, error) {
 				rec.Pivots = line.F.Pivots
 				rec.Dropped = line.F.Dropped
 				rec.Phases = line.F.Phases
+				rec.LP = line.F.LP
 			}
 		default:
 			// unknown line kinds are skipped so minor-version additions

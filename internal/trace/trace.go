@@ -87,10 +87,13 @@ type Event struct {
 	Worker       int     `json:"worker,omitempty"`
 	Subproblem   int     `json:"subproblem,omitempty"`
 
-	// Model shape (model events).
+	// Model shape (model events). Density is the constraint-matrix
+	// fill ratio NNZ / (Vars·Rows) — the quantity the LP engine gate
+	// (lp.ChooseEngine) weighs against size.
 	Vars     int      `json:"vars,omitempty"`
 	Rows     int      `json:"rows,omitempty"`
 	NNZ      int      `json:"nnz,omitempty"`
+	Density  float64  `json:"density,omitempty"`
 	Families []Family `json:"families,omitempty"`
 
 	// LP engine counters (status events; see lp.Counters).
@@ -99,6 +102,20 @@ type Event struct {
 	FarkasRejected   int64 `json:"farkas_rejected,omitempty"`
 	WindowScans      int64 `json:"window_scans,omitempty"`
 	CandidateHits    int64 `json:"candidate_hits,omitempty"`
+
+	// Sparse-engine observability (status events, revised engine only).
+	// Engine names the LP engine that ran ("dense" or "revised");
+	// FillIn is FactorNNZ / BasisNNZ — the LU fill ratio of the last
+	// factorized basis — and EtaNNZ counts eta-file entries appended
+	// across the solve (the quantity the refactorization policy bounds).
+	Engine         string  `json:"engine,omitempty"`
+	Factorizations int64   `json:"factorizations,omitempty"`
+	FTRANs         int64   `json:"ftrans,omitempty"`
+	BTRANs         int64   `json:"btrans,omitempty"`
+	EtaNNZ         int64   `json:"eta_nnz,omitempty"`
+	BasisNNZ       int64   `json:"basis_nnz,omitempty"`
+	FactorNNZ      int64   `json:"factor_nnz,omitempty"`
+	FillIn         float64 `json:"fill_in,omitempty"`
 
 	// Status is the terminal state string (status/result/job events).
 	Status string `json:"status,omitempty"`
