@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/trace"
@@ -96,6 +97,36 @@ func printSummary(rec *trace.Recording) {
 		fmt.Printf(" (%.0f pivots/s)", float64(rec.Pivots)/(float64(rec.WallNS)/1e9))
 	}
 	fmt.Println()
+	if rec.Mode != "" {
+		fmt.Printf("mode:      %s", rec.Mode)
+		if rec.Steals > 0 {
+			fmt.Printf("; %d steals", rec.Steals)
+		}
+		fmt.Println()
+	}
+	if n := len(rec.Cuts); n > 0 {
+		names := map[string]int{}
+		for _, c := range rec.Cuts {
+			kind := c.Name
+			if i := strings.IndexByte(kind, '['); i > 0 {
+				kind = kind[:i]
+			}
+			names[kind]++
+		}
+		fmt.Printf("cuts:      %d applied at the root (", n)
+		first := true
+		for _, kind := range []string{"gomory", "cover"} {
+			if names[kind] == 0 {
+				continue
+			}
+			if !first {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%d %s", names[kind], kind)
+			first = false
+		}
+		fmt.Println(")")
+	}
 	if lp := rec.LP; lp != nil && lp.Engine != "" {
 		fmt.Printf("engine:    %s", lp.Engine)
 		if lp.Factorizations > 0 {
@@ -115,6 +146,13 @@ func printSummary(rec *trace.Recording) {
 		first, last := rec.Incumbents[0], rec.Incumbents[n-1]
 		fmt.Printf("incumbents: %d installed; first %g at %.1f ms, best %g at %.1f ms\n",
 			n, first.Obj, first.TMS, last.Obj, last.TMS)
+		if rec.FirstIncNS > 0 || rec.FirstIncNodes > 0 {
+			where := "by the root dive, before the tree search"
+			if rec.FirstIncNodes > 0 {
+				where = fmt.Sprintf("after %d nodes", rec.FirstIncNodes)
+			}
+			fmt.Printf("first inc:  %s, %.1f ms in\n", where, float64(rec.FirstIncNS)/1e6)
+		}
 	} else {
 		fmt.Println("incumbents: none installed")
 	}

@@ -47,6 +47,9 @@ func main() {
 		perProd  = flag.Bool("wperproduct", false, "exact per-product w linearization (eqs. 4-5)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "solver time limit (matches the tpserve default)")
 		parallel = flag.Int("parallel", 0, "branch-and-bound workers (0 or 1 = serial)")
+		mode     = flag.String("search-mode", "auto", "parallel search mode: auto, serial, steal or portfolio")
+		cuts     = flag.String("cuts", "auto", "root cut strengthening (Gomory + cover): auto, on or off")
+		dive     = flag.String("dive", "auto", "root diving heuristic for an early incumbent: auto, on or off")
 		traceOut = flag.String("trace", "", "stream solver events as NDJSON to this file (- for stderr)")
 		record   = flag.String("record", "", "capture the search tree as a flight recording to this file for cmd/tpreplay (gzipped when the name ends in .gz)")
 		certify  = flag.Bool("certify", false, "re-verify the verdict in exact rational arithmetic and print the certificate summary (exit 3 on a failed certificate)")
@@ -96,6 +99,16 @@ func main() {
 	fail(err)
 	opt.Branch, err = core.ParseBranchRule(*branch)
 	fail(err)
+	search := core.SearchOptions{}
+	search.Mode, err = core.ParseSearchMode(*mode)
+	fail(err)
+	search.Cuts, err = core.ParseToggle(*cuts)
+	fail(err)
+	search.Dive, err = core.ParseToggle(*dive)
+	fail(err)
+	if search != (core.SearchOptions{}) {
+		opt.Search = &search
+	}
 	if *traceOut != "" {
 		var w io.Writer = os.Stderr
 		if *traceOut != "-" {
@@ -136,6 +149,20 @@ func main() {
 	res, err := m.SolveContext(context.Background())
 	fail(err)
 	fmt.Printf("solve: %d nodes, %d LP pivots, %v\n", res.Nodes, res.LPIterations, res.Runtime.Round(time.Millisecond))
+	if res.SearchMode != "" && res.SearchMode != "serial" || res.CutsApplied > 0 {
+		fmt.Printf("search: mode=%s", res.SearchMode)
+		if res.Steals > 0 {
+			fmt.Printf(", %d steals", res.Steals)
+		}
+		if res.CutsApplied > 0 {
+			fmt.Printf(", %d root cuts", res.CutsApplied)
+		}
+		if res.TimeToFirstIncumbent > 0 {
+			fmt.Printf(", first incumbent @%d nodes/%v",
+				res.FirstIncumbentNodes, res.TimeToFirstIncumbent.Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
 	if *record != "" {
 		// written before the infeasible exit below: a recording of a
 		// failed search is exactly what tpreplay is for

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -31,13 +32,14 @@ func main() {
 		benchmilp  = flag.String("benchmilp", "", "run the serial-vs-parallel branch-and-bound suite and write its JSON report to this file")
 		sweepbench = flag.String("sweepbench", "", "run the warm-vs-cold design-space sweep benchmark and write its JSON report to this file")
 		parallel   = flag.Int("parallel", 0, "worker count for -benchmilp (0 = GOMAXPROCS, min 2)")
+		minSpeedup = flag.Float64("minspeedup", 0, "fail (exit 1) when any -benchmilp instance's speedup falls below this threshold (0 disables the check)")
 		trajectory = flag.String("trajectory", "", "append a dated distillation of the -benchmilp or -sweepbench run to this JSON series (e.g. BENCH_trajectory.json)")
 		traceOut   = flag.String("trace", "", "stream solver events of every row as NDJSON to this file (- for stderr)")
 	)
 	flag.Parse()
 
 	if *benchmilp != "" {
-		if err := runBenchMILP(*benchmilp, *trajectory, *parallel); err != nil {
+		if err := runBenchMILP(*benchmilp, *trajectory, *parallel, *minSpeedup); err != nil {
 			fmt.Fprintln(os.Stderr, "tptables:", err)
 			os.Exit(1)
 		}
@@ -100,8 +102,11 @@ func main() {
 
 // runBenchMILP runs the parallel branch-and-bound suite, prints a
 // per-entry summary and writes the machine-readable report; with a
-// trajectory path it also appends the dated distillation to the series.
-func runBenchMILP(path, trajectory string, parallel int) error {
+// trajectory path it also appends the dated distillation to the
+// series. A positive minSpeedup turns the run into a regression gate:
+// any instance below the threshold fails the command after the report
+// is written, so CI keeps the artifact for diagnosis.
+func runBenchMILP(path, trajectory string, parallel int, minSpeedup float64) error {
 	rep, err := experiments.RunMILPBench(parallel)
 	if err != nil {
 		return err
@@ -112,11 +117,13 @@ func runBenchMILP(path, trajectory string, parallel int) error {
 		if engine == "" {
 			engine = "?"
 		}
-		fmt.Printf("%-14s serial %8v %4d nodes %6d pivots (%7.0f piv/s, %5.0f ns/piv, %s) | parallel %8v %4d nodes %6d pivots | comm %2d | speedup %.2fx\n",
+		fmt.Printf("%-14s serial %8v %4d nodes %6d pivots (%7.0f piv/s, %5.0f ns/piv, %s) | %s %8v %4d nodes %6d pivots, %d steals, %d cuts, 1st inc @%d nodes/%.0fms | comm %2d | speedup %.2fx\n",
 			e.Name,
 			time.Duration(e.Serial.NS).Round(time.Millisecond), e.Serial.Nodes, e.Serial.LPPivots,
 			e.Serial.PivotsPerSec, e.Serial.NSPerPivot, engine,
+			e.Parallel.Mode,
 			time.Duration(e.Parallel.NS).Round(time.Millisecond), e.Parallel.Nodes, e.Parallel.LPPivots,
+			e.Parallel.Steals, e.Parallel.Cuts, e.Parallel.FirstIncNodes, e.Parallel.FirstIncMS,
 			e.Serial.Comm, e.Speedup)
 	}
 	f, err := os.Create(path)
@@ -139,6 +146,18 @@ func runBenchMILP(path, trajectory string, parallel int) error {
 			return err
 		}
 		fmt.Printf("benchmilp: trajectory entry for %s appended to %s\n", date, trajectory)
+	}
+	if minSpeedup > 0 {
+		var failed []string
+		for _, e := range rep.Entries {
+			if e.Speedup < minSpeedup {
+				failed = append(failed, fmt.Sprintf("%s %.2fx", e.Name, e.Speedup))
+			}
+		}
+		if len(failed) > 0 {
+			return fmt.Errorf("speedup regression: %s below the %.2fx floor", strings.Join(failed, ", "), minSpeedup)
+		}
+		fmt.Printf("benchmilp: every instance at or above the %.2fx speedup floor\n", minSpeedup)
 	}
 	return nil
 }

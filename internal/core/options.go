@@ -248,6 +248,13 @@ type Options struct {
 	// agree on verdicts (differentially fuzzed) but not on pivot counts
 	// or runtimes, so a forced-engine job is its own cache entry.
 	LPEngine string `json:"lp_engine,omitempty"`
+	// Search groups every branch-and-bound search knob (workers, gate
+	// threshold, mode, branching rule, root cuts, diving) into one
+	// object, serialized as options.search. Nil keeps the legacy flat
+	// fields (Parallelism, ParallelThreshold, Branch) in charge; when
+	// set, its non-zero fields override the flat ones — see
+	// EffectiveSearch for the exact merge.
+	Search *SearchOptions `json:"search,omitempty"`
 	// Certify enables the exact-arithmetic audit mode: the MILP verdict
 	// is re-verified in rational arithmetic (internal/exact) and the
 	// resulting certificate attached to Result.Certificate, the flight
@@ -300,6 +307,11 @@ func (o Options) Validate() error {
 	}
 	if _, err := lp.ParseEngine(o.LPEngine); err != nil {
 		return err
+	}
+	if o.Search != nil {
+		if err := o.Search.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

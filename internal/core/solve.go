@@ -51,6 +51,27 @@ type Result struct {
 	// auto heuristic. Empty on paths that never enter the MILP search
 	// (exact-sweep early exit, presolve-proved infeasibility).
 	LPEngine string
+	// SearchMode names the branch-and-bound scheduling mode that
+	// actually ran ("serial", "steal" or "portfolio") — the resolution
+	// of the search options' auto mode and size gate. Empty on paths
+	// that never enter the MILP search.
+	SearchMode string
+	// Steals counts work-stealing transfers between workers (zero for
+	// serial and portfolio searches).
+	Steals int64
+	// CutsApplied is the number of root cutting planes (Gomory + cover)
+	// that survived separation and strengthened the root relaxation.
+	CutsApplied int
+	// FirstIncumbentNodes is the node count at which the MILP search
+	// installed its first incumbent (0 when the root dive found it
+	// before any node, or when no incumbent exists).
+	FirstIncumbentNodes int64
+	// TimeToFirstIncumbent is the wall-clock time into the MILP search
+	// at the first incumbent install (0 when none was found).
+	TimeToFirstIncumbent time.Duration
+	// TimeToProof is the MILP wall-clock time to a proved verdict
+	// (optimal or infeasible); 0 when the search was stopped by a limit.
+	TimeToProof time.Duration
 }
 
 // Solve runs branch and bound on the generated model with the
@@ -89,8 +110,9 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 	// ever branches on them.
 	decision := append(append(append([]int{}, m.tierY...), m.tierU...), m.tierX...)
 	sort.Ints(decision)
+	eff := m.Opt.EffectiveSearch()
 	var brancher milp.Brancher
-	switch m.Opt.Branch {
+	switch eff.Branch {
 	case BranchFirstFrac:
 		brancher = milp.FirstFractional(decision)
 	case BranchMostFrac:
@@ -114,13 +136,22 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 		MaxNodes:          m.Opt.MaxNodes,
 		TimeLimit:         m.Opt.TimeLimit,
 		Complete:          m.complete,
-		Parallelism:       m.Opt.Parallelism,
-		ParallelThreshold: m.Opt.ParallelThreshold,
+		Parallelism:       eff.Parallelism,
+		ParallelThreshold: eff.Threshold,
+		Mode:              searchModeToMILP(eff.Mode),
 		Trace:             m.Opt.Trace,
 		Record:            m.Opt.Record,
 		Profile:           m.Opt.Profile,
 		Certify:           m.Opt.Certify,
 	}
+	// Root strengthening: explicit toggles win; auto enables the cuts
+	// and the dive exactly when a parallel search was requested (they
+	// exist to shrink the shared tree and seed the shared incumbent,
+	// and keeping serial solves bit-identical to the paper's algorithm
+	// matters more than a marginal serial speedup).
+	autoStrength := eff.Parallelism > 1 && eff.Mode != SearchSerial && m.warm == nil
+	mopt.RootCuts = eff.Cuts == ToggleOn || (eff.Cuts == ToggleAuto && autoStrength)
+	mopt.Dive = eff.Dive == ToggleOn || (eff.Dive == ToggleAuto && autoStrength)
 	if !m.Opt.DisableProbe {
 		mopt.Probe = m.probe
 	}
@@ -195,12 +226,18 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{
-		Stats:        m.Stats(),
-		Nodes:        sweepNodes + res.Nodes,
-		LPIterations: sweepPivots + res.LPIterations,
-		Runtime:      time.Since(solveStart), // includes sweep/settle time
-		Certificate:  res.Certificate,
-		LPEngine:     res.LPEngine.String(),
+		Stats:                m.Stats(),
+		Nodes:                sweepNodes + res.Nodes,
+		LPIterations:         sweepPivots + res.LPIterations,
+		Runtime:              time.Since(solveStart), // includes sweep/settle time
+		Certificate:          res.Certificate,
+		LPEngine:             res.LPEngine.String(),
+		SearchMode:           res.Mode.String(),
+		Steals:               res.Steals,
+		CutsApplied:          res.CutsApplied,
+		FirstIncumbentNodes:  res.FirstIncumbentNodes,
+		TimeToFirstIncumbent: res.FirstIncumbent,
+		TimeToProof:          res.TimeToProof,
 	}
 	if out.Certificate != nil {
 		out.Certificate.Label = m.Inst.Graph.Name
@@ -240,6 +277,22 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 	}
 	out.Solution = sol
 	return out, nil
+}
+
+// searchModeToMILP maps the wire-form search mode onto the solver's
+// own enum; the two are kept separate so the service API never leaks
+// milp internals.
+func searchModeToMILP(m SearchMode) milp.SearchMode {
+	switch m {
+	case SearchSerial:
+		return milp.ModeSerial
+	case SearchSteal:
+		return milp.ModeSteal
+	case SearchPortfolio:
+		return milp.ModePortfolio
+	default:
+		return milp.ModeAuto
+	}
 }
 
 // solveCtx returns the context of the running SolveContext, or a

@@ -37,6 +37,21 @@ type MILPRunStats struct {
 	Comm         int     `json:"comm"`
 	Feasible     bool    `json:"feasible"`
 	Optimal      bool    `json:"optimal"`
+	// Mode names the search mode the solve resolved to ("serial",
+	// "steal", "portfolio"); the parallel legs of the suite request the
+	// work-stealing pool explicitly.
+	Mode string `json:"mode,omitempty"`
+	// Steals counts work transfers between the pool's workers.
+	Steals int64 `json:"steals,omitempty"`
+	// Cuts is the number of root cutting planes applied.
+	Cuts int `json:"cuts,omitempty"`
+	// FirstIncNodes/FirstIncMS locate the first incumbent (0 nodes
+	// means the root dive found it before the tree search started).
+	FirstIncNodes int64   `json:"nodes_to_first_incumbent,omitempty"`
+	FirstIncMS    float64 `json:"ms_to_first_incumbent,omitempty"`
+	// ProofMS is the wall time to a proved verdict; 0 when a limit
+	// stopped the run.
+	ProofMS float64 `json:"ms_to_proof,omitempty"`
 }
 
 // MILPBenchResult pairs the serial and parallel solves of one entry.
@@ -109,14 +124,21 @@ func MILPBench() ([]MILPBenchEntry, error) {
 }
 
 // runMILPEntry solves one entry at the given parallelism. The parallel
-// leg disables the root-size gate: the suite exists to measure the true
+// leg disables the root-size gate and requests the work-stealing mode
+// with root strengthening: the suite exists to measure the true
 // serial-vs-parallel cost (including the overhead the gate hides), so
 // a gated fallback would silently benchmark serial against serial.
 func runMILPEntry(e MILPBenchEntry, parallelism int) (MILPRunStats, error) {
 	opt := e.Opt
 	opt.Parallelism = parallelism
 	if parallelism > 1 {
-		opt.ParallelThreshold = -1
+		opt.Search = &core.SearchOptions{
+			Parallelism: parallelism,
+			Threshold:   -1,
+			Mode:        core.SearchSteal,
+			Cuts:        core.ToggleOn,
+			Dive:        core.ToggleOn,
+		}
 	}
 	start := time.Now()
 	res, err := core.SolveInstance(e.Inst, opt)
@@ -124,12 +146,18 @@ func runMILPEntry(e MILPBenchEntry, parallelism int) (MILPRunStats, error) {
 		return MILPRunStats{}, err
 	}
 	st := MILPRunStats{
-		NS:       time.Since(start).Nanoseconds(),
-		Nodes:    res.Nodes,
-		LPPivots: res.LPIterations,
-		Engine:   res.LPEngine,
-		Feasible: res.Feasible,
-		Optimal:  res.Optimal,
+		NS:            time.Since(start).Nanoseconds(),
+		Nodes:         res.Nodes,
+		LPPivots:      res.LPIterations,
+		Engine:        res.LPEngine,
+		Feasible:      res.Feasible,
+		Optimal:       res.Optimal,
+		Mode:          res.SearchMode,
+		Steals:        res.Steals,
+		Cuts:          res.CutsApplied,
+		FirstIncNodes: res.FirstIncumbentNodes,
+		FirstIncMS:    float64(res.TimeToFirstIncumbent.Nanoseconds()) / 1e6,
+		ProofMS:       float64(res.TimeToProof.Nanoseconds()) / 1e6,
 	}
 	if st.NS > 0 && st.LPPivots > 0 {
 		st.PivotsPerSec = float64(st.LPPivots) / (float64(st.NS) / 1e9)

@@ -1,0 +1,150 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// CutRow is a valid inequality over the structural variables, destined
+// for Solver.AppendRows: Lo <= sum Val[k] * x[Idx[k]] <= Hi. The MILP
+// layer's root strengthening (knapsack covers, Gomory rounds) produces
+// these; they must be satisfied by every integer-feasible point of the
+// model they are appended to, or the search built on them is unsound.
+type CutRow struct {
+	Name string
+	Idx  []int
+	Val  []float64
+	Lo   float64
+	Hi   float64
+}
+
+// AppendRows appends extra constraint rows to a solver in place — the
+// row-count twin of SetBound/SetRowBounds, extending the live-edit
+// surface so a branch-and-bound root can be strengthened with cutting
+// planes without rebuilding the solver.
+//
+// The warm-start contract is preserved: each new row receives a fresh
+// logical variable that enters the basis (its column is a unit vector,
+// so the basis stays nonsingular), existing reduced costs are untouched
+// and the new logicals get reduced cost zero, so a previously
+// dual-feasible basis stays dual feasible and ReOptimize repairs any
+// primal violation of the new rows with the dual simplex — exactly the
+// bound-edit re-optimization pattern. On the dense engine the new
+// tableau rows are reduced against the current basis; the revised
+// engine rebuilds its column form and refactorizes lazily from the
+// extended basis.
+//
+// The original row data is copied on append, so Clones sharing the old
+// row slice are unaffected. Snapshots taken before an append no longer
+// match the solver's dimensions and must not be Restored into it.
+func (s *Solver) AppendRows(cuts []CutRow) error {
+	k := len(cuts)
+	if k == 0 {
+		return nil
+	}
+	newRows := make([]row, 0, k)
+	for _, c := range cuts {
+		if len(c.Idx) != len(c.Val) {
+			return fmt.Errorf("lp: AppendRows %q: %d indices vs %d values", c.Name, len(c.Idx), len(c.Val))
+		}
+		if c.Lo > c.Hi || math.IsNaN(c.Lo) || math.IsNaN(c.Hi) {
+			return fmt.Errorf("lp: AppendRows %q: bad range [%v,%v]", c.Name, c.Lo, c.Hi)
+		}
+		acc := map[int]float64{}
+		for t, j := range c.Idx {
+			if j < 0 || j >= s.n {
+				return fmt.Errorf("lp: AppendRows %q: variable %d out of range", c.Name, j)
+			}
+			if math.IsInf(c.Val[t], 0) || math.IsNaN(c.Val[t]) {
+				return fmt.Errorf("lp: AppendRows %q: non-finite coefficient on variable %d", c.Name, j)
+			}
+			acc[j] += c.Val[t]
+		}
+		r := row{lo: c.Lo, hi: c.Hi}
+		for j := 0; j < s.n; j++ {
+			if v, ok := acc[j]; ok && v != 0 {
+				r.idx = append(r.idx, j)
+				r.val = append(r.val, v)
+			}
+		}
+		newRows = append(newRows, r)
+	}
+
+	// Values the new logicals take at the current point (g = -a·x),
+	// computed before any state mutation.
+	gval := make([]float64, k)
+	for j := range newRows {
+		v := 0.0
+		for t, col := range newRows[j].idx {
+			v += newRows[j].val[t] * s.value(col)
+		}
+		gval[j] = -v
+	}
+
+	// Copy-on-append: Clones share origRows, so the old slice must stay
+	// intact for them.
+	or := make([]row, 0, s.m+k)
+	or = append(or, s.origRows...)
+	or = append(or, newRows...)
+	s.origRows = or
+
+	m2, ntot2 := s.m+k, s.ntot+k
+	if s.tab != nil {
+		nt := make([]float64, m2*ntot2)
+		for i := 0; i < s.m; i++ {
+			copy(nt[i*ntot2:i*ntot2+s.ntot], s.tab[i*s.ntot:(i+1)*s.ntot])
+		}
+		for j := range newRows {
+			tr := nt[(s.m+j)*ntot2 : (s.m+j+1)*ntot2]
+			for t, col := range newRows[j].idx {
+				tr[col] = newRows[j].val[t]
+			}
+			tr[s.ntot+j] = 1
+			// Reduce against the current basis so the row is a valid
+			// B^{-1}-transformed tableau row: basic columns must be zero.
+			for i := 0; i < s.m; i++ {
+				b := s.basis[i]
+				piv := tr[b]
+				if piv == 0 {
+					continue
+				}
+				br := nt[i*ntot2 : (i+1)*ntot2]
+				for q := 0; q < s.ntot; q++ {
+					if br[q] != 0 {
+						tr[q] -= piv * br[q]
+					}
+				}
+				tr[b] = 0
+			}
+		}
+		s.tab = nt
+	}
+	for j := range newRows {
+		// logical of new row m+j sits at column n+(m+j) = ntot+j, so all
+		// existing structural and logical column indices are unchanged
+		s.c = append(s.c, 0)
+		s.lo = append(s.lo, -newRows[j].hi)
+		s.hi = append(s.hi, -newRows[j].lo)
+		s.nbVal = append(s.nbVal, 0)
+		s.d = append(s.d, 0) // basic: reduced cost zero by definition
+		s.vstat = append(s.vstat, basic)
+		s.inRow = append(s.inRow, s.m+j)
+		s.basis = append(s.basis, s.ntot+j)
+		s.beta = append(s.beta, gval[j])
+	}
+	s.m, s.ntot = m2, ntot2
+	if s.rev != nil {
+		rv := newRevisedState(s.n, s.m, buildCSC(s.n, s.origRows))
+		for j := range rv.wts {
+			rv.wts[j] = 1 // devex frame reseeded for the new dimensions
+		}
+		rv.stale = true // factorize lazily from the extended basis
+		s.rev = rv
+	}
+	s.status = StatusUnknown
+	s.pCand, s.dCand = s.pCand[:0], s.dCand[:0]
+	s.pCur, s.dCur = 0, 0
+	s.nzbuf, s.fbuf = nil, nil
+	s.farkasRay = nil
+	return nil
+}

@@ -1,0 +1,164 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gomory mixed-integer cut generation from the dense tableau. Each
+// maintained tableau row is a valid equation over the full system
+// [A | I] z = 0, so for a basic integer variable x_b with fractional
+// value the classic GMI rounding applied to the nonbasic shifts
+// (t_j = x_j - l_j at lower bound, u_j - x_j at upper) yields a valid
+// inequality for every integer-feasible point. The cut is produced in
+// t-space, translated back to x-space and the logical-variable terms
+// expanded through the original rows (g_i = -a_i·x), so the result is
+// a pure structural-variable CutRow ready for AppendRows.
+//
+// Numerical guard rails: rows with nonbasic free variables or huge
+// tableau entries are skipped, the right-hand side gets a relative
+// safety margin, tiny structural coefficients are absorbed into the
+// right-hand side using the variable's box (conservative), and only
+// cuts violated by the current LP point are returned.
+
+// gomoryMaxCoef rejects tableau rows whose entries are too large for a
+// trustworthy rounding (drifted or ill-conditioned rows).
+const gomoryMaxCoef = 1e7
+
+// GomoryCuts derives Gomory mixed-integer cuts for the fractional basic
+// integer variables of the current optimal basis, at most limit of
+// them, ordered by tableau row. isInt flags the structural variables
+// that are integral in the caller's model; its length must be the
+// structural variable count.
+//
+// Only the dense engine exposes its tableau rows; on the revised engine
+// (or a non-optimal solver) the result is nil. Cuts are derived against
+// the solver's CURRENT variable bounds, so they are globally valid only
+// when generated at the root of a search, before any branching fixes.
+func (s *Solver) GomoryCuts(isInt []bool, limit int) []CutRow {
+	if s.tab == nil || s.status != StatusOptimal || limit <= 0 || len(isInt) != s.n {
+		return nil
+	}
+	var out []CutRow
+	w := make([]float64, s.n)
+	for r := 0; r < s.m && len(out) < limit; r++ {
+		b := s.basis[r]
+		if b >= s.n || !isInt[b] {
+			continue
+		}
+		f0 := s.beta[r] - math.Floor(s.beta[r])
+		if f0 < 0.05 || f0 > 0.95 {
+			continue // too close to integral: unreliable rounding
+		}
+		trow := s.tab[r*s.ntot : (r+1)*s.ntot]
+		for j := range w {
+			w[j] = 0
+		}
+		rhs := f0
+		ok := true
+		for j := 0; j < s.ntot; j++ {
+			if s.vstat[j] == basic {
+				continue
+			}
+			a := trow[j]
+			if math.Abs(a) <= 1e-9 {
+				continue
+			}
+			if math.Abs(a) > gomoryMaxCoef {
+				ok = false
+				break
+			}
+			var cj float64
+			var upper bool
+			switch s.vstat[j] {
+			case atLower:
+				cj = a
+			case atUpper:
+				cj, upper = -a, true
+			default:
+				ok = false // nonbasic free variable: no valid shift
+			}
+			if !ok {
+				break
+			}
+			var g float64
+			if j < s.n && isInt[j] && integralBound(s.lo[j]) && integralBound(s.hi[j]) {
+				fj := cj - math.Floor(cj)
+				if fj <= f0 {
+					g = fj
+				} else {
+					g = f0 * (1 - fj) / (1 - f0)
+				}
+			} else if cj >= 0 {
+				g = cj
+			} else {
+				g = f0 * (-cj) / (1 - f0)
+			}
+			if g <= 1e-12 {
+				continue
+			}
+			// translate gamma_j * t_j back to x-space
+			coef, shift := g, g*s.lo[j]
+			if upper {
+				coef, shift = -g, -g*s.hi[j]
+			}
+			rhs += shift
+			if j < s.n {
+				w[j] += coef
+			} else {
+				// logical variable of row j-n: g_i = -(a_i · x)
+				rr := s.origRows[j-s.n]
+				for t, col := range rr.idx {
+					w[col] -= coef * rr.val[t]
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		var idx []int
+		var val []float64
+		for q := 0; q < s.n && ok; q++ {
+			v := w[q]
+			if v == 0 {
+				continue
+			}
+			if math.Abs(v) < 1e-9 {
+				// absorb the tiny coefficient into the right-hand side
+				// using the variable's box: sum' >= rhs - max(v*x) stays
+				// valid after dropping the term
+				worst := math.Max(v*s.lo[q], v*s.hi[q])
+				if math.IsInf(worst, 0) || math.IsNaN(worst) {
+					ok = false
+					break
+				}
+				rhs -= worst
+				continue
+			}
+			idx = append(idx, q)
+			val = append(val, v)
+		}
+		if !ok || len(idx) == 0 {
+			continue
+		}
+		rhs -= 1e-7 * (1 + math.Abs(rhs)) // safety margin against drift
+		lhs := 0.0
+		for t, q := range idx {
+			lhs += val[t] * s.value(q)
+		}
+		if rhs-lhs < 1e-4 {
+			continue // not (or barely) violated: not worth a row
+		}
+		out = append(out, CutRow{
+			Name: fmt.Sprintf("gomory[%d]", r),
+			Idx:  idx, Val: val,
+			Lo: rhs, Hi: math.Inf(1),
+		})
+	}
+	return out
+}
+
+// integralBound reports whether a finite bound sits on an integer.
+func integralBound(v float64) bool {
+	return !math.IsInf(v, 0) && math.Abs(v-math.Round(v)) < 1e-9
+}

@@ -147,6 +147,22 @@ func (p *Problem) AddEQ(name string, idx []int, coef []float64, rhs float64) err
 	return p.AddRow(name, idx, coef, rhs, rhs)
 }
 
+// Clone returns a copy of p that can be extended independently
+// (AddVar/AddRow on the clone do not affect p) — the mechanism the
+// MILP layer uses to build a cut-augmented private model without
+// mutating the caller's problem. Row coefficient storage is shared:
+// rows are immutable once added.
+func (p *Problem) Clone() *Problem {
+	return &Problem{
+		names:    append([]string(nil), p.names...),
+		obj:      append([]float64(nil), p.obj...),
+		lo:       append([]float64(nil), p.lo...),
+		hi:       append([]float64(nil), p.hi...),
+		rows:     append([]row(nil), p.rows...),
+		rowNames: append([]string(nil), p.rowNames...),
+	}
+}
+
 // Eval computes a_i · x for row i.
 func (p *Problem) Eval(i int, x []float64) float64 {
 	s := 0.0

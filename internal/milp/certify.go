@@ -93,6 +93,13 @@ func buildCertificate(p *lp.Problem, opt *Options, res *Result, rw rootWitness) 
 	default: // StatusLimit: no incumbent, no proof — nothing to certify
 		return nil
 	}
+	if res.CutsApplied > 0 {
+		// the certificate proves bound and feasibility for the
+		// cut-augmented model it snapshots; the cuts' own validity for
+		// the integer hull is a float-arithmetic separation argument
+		c.Trusted = append(c.Trusted,
+			"validity of the root cutting planes (float-separated Gomory/cover cuts included in the certified model)")
+	}
 	if res.X != nil {
 		c.X = exact.FloatVec(res.X)
 		c.Objective = exact.FloatString(res.Objective)

@@ -78,6 +78,39 @@ func (s Status) Stopped() bool {
 // intTol is the integrality tolerance.
 const intTol = 1e-6
 
+// SearchMode selects the scheduler of a parallel solve.
+type SearchMode int
+
+const (
+	// ModeAuto lets the solver pick: the root-size gate (see
+	// ParallelThreshold) decides between the serial search and the
+	// work-stealing pool.
+	ModeAuto SearchMode = iota
+	// ModeSerial forces the serial depth-first search regardless of
+	// Parallelism.
+	ModeSerial
+	// ModeSteal runs the work-stealing node pool: per-worker deques,
+	// adaptive second-child donation, best-bound victim selection.
+	ModeSteal
+	// ModePortfolio races Parallelism complete searches with diverse
+	// branching strategies over the same tree, sharing incumbents; the
+	// first to exhaust its pruned tree proves the verdict.
+	ModePortfolio
+)
+
+func (m SearchMode) String() string {
+	switch m {
+	case ModeSerial:
+		return "serial"
+	case ModeSteal:
+		return "steal"
+	case ModePortfolio:
+		return "portfolio"
+	default:
+		return "auto"
+	}
+}
+
 // Brancher selects the variable to branch on. x is the structural LP
 // solution of the current node and bound reports the node's current
 // variable bounds. It returns the column to branch on and whether the
@@ -217,6 +250,24 @@ type Options struct {
 	// DefaultParallelThreshold; negative disables the gate entirely so
 	// a parallel request is always honored.
 	ParallelThreshold int
+	// Mode selects the parallel scheduler. The zero value ModeAuto
+	// applies the ParallelThreshold gate and picks work-stealing;
+	// ModeSteal and ModePortfolio bypass the gate (an explicit request
+	// is honored, like a negative ParallelThreshold); ModeSerial forces
+	// the serial search. Ignored when Parallelism <= 1. The resolved
+	// mode is reported in Result.Mode and on the "plan" trace event.
+	Mode SearchMode
+	// RootCuts enables root-node strengthening: cover cuts separated
+	// from the row data plus Gomory fractional cuts from the optimal
+	// root tableau (dense engine only) are appended to a private clone
+	// of the model and the root is re-optimized before the search. The
+	// caller's Problem is never mutated. Ignored under Warm (the warm
+	// solver's basis describes the un-augmented model).
+	RootCuts bool
+	// Dive enables the root diving heuristic: one root-to-leaf
+	// rounding dive that usually produces an early incumbent, seeding
+	// the pruning bound before any worker starts. Ignored under Warm.
+	Dive bool
 }
 
 // Result reports a solve.
@@ -245,6 +296,25 @@ type Result struct {
 	// sparse revised simplex) — the resolution of Options.Engine's auto
 	// heuristic, or the engine of the Warm solver.
 	LPEngine lp.Engine
+	// Mode is the scheduler that actually ran: the resolution of
+	// Options.Mode (never ModeAuto on a completed solve).
+	Mode SearchMode
+	// Steals counts subproblems taken from another worker's deque
+	// (work-stealing mode only).
+	Steals int64
+	// CutsApplied counts the root-strengthening cuts appended to the
+	// search's model (0 when RootCuts is off or nothing violated).
+	CutsApplied int
+	// FirstIncumbentNodes is the global node count when the first
+	// incumbent was installed, and FirstIncumbent the elapsed time; both
+	// zero when the search found none (a primed InitialUpper does not
+	// count, and an incumbent from the root dive reports 0 nodes).
+	FirstIncumbentNodes int64
+	FirstIncumbent      time.Duration
+	// TimeToProof is the wall-clock time to a *proved* verdict — equal
+	// to Runtime when the status is optimal or infeasible, 0 when a
+	// limit stopped the search first.
+	TimeToProof time.Duration
 }
 
 // stopReason records why the search stopped early, so the final status
@@ -283,13 +353,13 @@ type solver struct {
 	prof    *trace.Profile
 	curNode int64
 
-	// root-split collection mode (see solveParallel): when collect is
-	// non-nil, branch() records nodes at depth >= splitDepth as
-	// subproblems instead of descending into them. path tracks the
-	// branching fixes from the root to the current node.
-	splitDepth int
-	collect    *[]subproblem
-	path       []fix
+	// work-stealing state (see steal.go): pool is non-nil on the
+	// workers of a steal-mode solve, wslot is the worker's 0-based pool
+	// slot, and path tracks the branching fixes from the root to the
+	// current node so donated subproblems carry their full prefix.
+	pool  *stealPool
+	wslot int
+	path  []fix
 }
 
 // nodeMeta carries the recorder-facing identity of a node into
@@ -362,7 +432,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 	if opt.InitialUpper != 0 && !math.IsInf(opt.InitialUpper, 1) {
 		upper = opt.InitialUpper
 	}
-	s.sh = newShared(upper, opt.Trace)
+	s.sh = newShared(upper, opt.Trace, start)
 	s.brancher = opt.Brancher
 	s.observer = observerOf(opt.Brancher)
 	lps.Ctx = ctx // bound individual LP solves too
@@ -436,20 +506,37 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		}
 		return res, nil
 	}
-	// Root witnesses for certification must be taken now: the search
-	// below re-optimizes lps in place (serial mode), so its terminal
-	// duals and basis describe the last node visited, not the root.
+	// The OnRoot hook fires before any strengthening: the delta re-solve
+	// layer captures a basis for the UN-augmented model (its warm
+	// re-solves replay amendments against the original row set).
+	if opt.OnRoot != nil {
+		opt.OnRoot(lps)
+	}
+	if opt.RootCuts && opt.Warm == nil {
+		n, err := s.applyRootCuts()
+		if err != nil {
+			return nil, err
+		}
+		res.CutsApplied = n
+		lps = s.lps // a discarded cut round may have rebuilt the solver
+	}
+	// Root witnesses for certification must be taken now — after the
+	// cuts, so the duals and basis describe the (possibly augmented)
+	// root the search actually runs on: the search below re-optimizes
+	// lps in place (serial mode), so its terminal duals and basis
+	// describe the last node visited, not the root.
 	var rw rootWitness
 	if opt.Certify {
 		rw.duals = lps.Duals()
-		if p.NumRows() <= exact.BasisCertLimit {
+		// The exact basis factorization demands exactly-signed reduced
+		// costs; a cut-augmented basis reached by a warm append carries
+		// ~1e-15 dual noise that fails that bar, so cuts fall back to
+		// the safe dual-bound certificate alone.
+		if res.CutsApplied == 0 && s.prob.NumRows() <= exact.BasisCertLimit {
 			rw.basis = lps.BasisRows()
 			rw.varPos = lps.VarPositions()
 		}
 		lps.CaptureFarkas = false // root is done; nodes don't capture
-	}
-	if opt.OnRoot != nil {
-		opt.OnRoot(lps)
 	}
 	res.BestBound = lps.Objective()
 	s.sh.raiseBound(res.BestBound)
@@ -457,21 +544,26 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		s.sh.tr.Emit(trace.Event{Kind: trace.KindRoot, Bound: res.BestBound,
 			Pivots: int64(lps.Iterations)})
 	}
-	if opt.Parallelism > 1 {
-		if why := s.serialFallback(); why != "" {
-			if s.sh.tr != nil {
-				s.sh.tr.Emit(trace.Event{Kind: trace.KindPlan, Bound: res.BestBound,
-					Msg: "serial fallback: " + why})
-			}
-			s.branch(lp.StatusOptimal, 0, rootMeta)
+	if opt.Dive && opt.Warm == nil {
+		s.dive()
+	}
+	mode, why := s.planMode()
+	res.Mode = mode
+	if opt.Parallelism > 1 && s.sh.tr != nil {
+		e := trace.Event{Kind: trace.KindPlan, Bound: res.BestBound, Worker: opt.Parallelism}
+		if why != "" {
+			e.Msg = "serial fallback: " + why
 		} else {
-			if s.sh.tr != nil {
-				s.sh.tr.Emit(trace.Event{Kind: trace.KindPlan, Bound: res.BestBound,
-					Worker: opt.Parallelism, Msg: "parallel search"})
-			}
-			s.solveParallel(res, rootMeta)
+			e.Msg = fmt.Sprintf("mode=%s workers=%d cuts=%d", mode, opt.Parallelism, res.CutsApplied)
 		}
-	} else {
+		s.sh.tr.Emit(e)
+	}
+	switch mode {
+	case ModeSteal:
+		s.solveSteal(res, rootMeta)
+	case ModePortfolio:
+		s.solvePortfolio(rootMeta)
+	default:
 		s.branch(lp.StatusOptimal, 0, rootMeta)
 	}
 
@@ -502,11 +594,22 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 			res.BestBound = incObj
 		}
 	}
+	if s.sh.firstInc.Load() {
+		res.FirstIncumbentNodes = s.sh.firstIncNode.Load()
+		res.FirstIncumbent = time.Duration(s.sh.firstIncNS.Load())
+	}
+	if res.Status == StatusOptimal || res.Status == StatusInfeasible {
+		res.TimeToProof = res.Runtime
+	}
 	if opt.Certify {
-		s.attachCertificate(p, res, rw)
+		// certify against the (possibly cut-augmented) model the search
+		// ran on — s.prob, not the caller's p
+		s.attachCertificate(s.prob, res, rw)
 	}
 	if s.rec.Enabled() {
 		s.rec.SetLPStat(lpStatOf(lps))
+		s.rec.SetSearchStats(res.Mode.String(), res.Steals,
+			res.FirstIncumbentNodes, int64(res.FirstIncumbent))
 		s.rec.Finalize(res.Status.String(), res.Runtime, int64(res.Nodes), int64(res.LPIterations))
 	}
 	if s.sh.tr != nil {
@@ -704,23 +807,33 @@ func (s *solver) branch(st lp.Status, depth int, meta nodeMeta) {
 			return
 		}
 	}
-	if s.collect != nil && depth >= s.splitDepth {
-		// root-split mode: this node needs branching and is deep enough
-		// to hand to a worker — record its branching prefix and bound
-		// instead of descending. parent=total makes the worker's pickup
-		// re-solve of this subproblem a recorded child of this node.
-		*s.collect = append(*s.collect, subproblem{
-			fixes:  append([]fix(nil), s.path...),
-			bound:  s.bound(z),
-			parent: total,
-		})
-		return
-	}
 	first, second := 1.0, 0.0
 	if !oneFirst {
 		first, second = 0.0, 1.0
 	}
-	for _, v := range [2]float64{first, second} {
+	// Work-stealing donation: when some worker is hungry, hand the
+	// second child to the pool BEFORE descending into the first, so the
+	// leftmost dive of a fresh solve peels off a subproblem per level
+	// and the pool fills within the first few nodes. The donated
+	// subproblem is this node's branching prefix plus the second fix;
+	// its bound is this node's LP bound (a valid bound on any child).
+	// parent=total makes the taker's pickup re-solve a recorded child
+	// of this node.
+	donated := false
+	if s.pool != nil && depth < donateDepth && s.pool.hungry() {
+		lo, hi := s.lps.Bound(col)
+		if second >= lo-intTol && second <= hi+intTol {
+			fixes := make([]fix, len(s.path)+1)
+			copy(fixes, s.path)
+			fixes[len(s.path)] = fix{col: col, val: second}
+			s.pool.donate(s.wslot, subproblem{fixes: fixes, bound: s.bound(z), parent: total})
+			donated = true
+		}
+	}
+	for vi, v := range [2]float64{first, second} {
+		if vi == 1 && donated {
+			continue // handed to the pool
+		}
 		lo, hi := s.lps.Bound(col)
 		if v < lo-intTol || v > hi+intTol {
 			continue // value already excluded on this path
@@ -826,21 +939,42 @@ func (s *solver) acceptCandidate(xc []float64, nodeBound float64, inNode bool) b
 // DefaultParallelThreshold is the root-tableau cell count — rows times
 // (rows + columns), the per-pivot work of the dense engine — below
 // which a parallel request falls back to the serial search when
-// Options.ParallelThreshold is 0. Calibrated against BENCH_milp.json:
-// instances under this size solve in milliseconds and the clone/split
-// overhead outweighs any concurrency win.
-const DefaultParallelThreshold = 1 << 19
+// Options.ParallelThreshold is 0. Recalibrated for the work-stealing
+// scheduler, whose fixed overhead (one LP clone per worker, a mutexed
+// pool) is far smaller than the old static split's: instances under
+// this size solve in under a millisecond, where even a clone is not
+// worth it. The old static-split threshold was 1<<19.
+const DefaultParallelThreshold = 1 << 16
 
-// minParallelFrac is the minimum number of fractional integer columns
-// in the root LP for a parallel split to make sense: the root split
-// branches on fractional variables, so fewer than this yields a tree
-// too thin to keep multiple workers busy.
-const minParallelFrac = 4
+// planMode resolves the scheduler for this solve: the serial search
+// for Parallelism <= 1 or an explicit ModeSerial, the requested mode
+// for an explicit ModeSteal/ModePortfolio (an explicit request bypasses
+// the gate, like a negative ParallelThreshold), and the gate's verdict
+// — work-stealing or the serial fallback — for ModeAuto. The returned
+// reason is non-empty when a Parallelism > 1 request falls back.
+func (s *solver) planMode() (SearchMode, string) {
+	if s.opt.Parallelism <= 1 {
+		return ModeSerial, ""
+	}
+	switch s.opt.Mode {
+	case ModeSerial:
+		return ModeSerial, "serial mode requested"
+	case ModeSteal, ModePortfolio:
+		return s.opt.Mode, ""
+	}
+	if why := s.serialFallback(); why != "" {
+		return ModeSerial, why
+	}
+	return ModeSteal, ""
+}
 
 // serialFallback decides the parallel gate: it returns a non-empty
 // human-readable reason when a Parallelism > 1 request should run the
 // serial search instead, and "" to honor the parallel request. Called
-// with the root LP solved to optimality.
+// with the root LP solved to optimality. The old gate also required a
+// minimum number of fractional integers at the root; the work-stealing
+// pool splits adaptively wherever the tree actually branches, so a
+// thin root no longer matters.
 func (s *solver) serialFallback() string {
 	th := s.opt.ParallelThreshold
 	if th < 0 {
@@ -856,15 +990,6 @@ func (s *solver) serialFallback() string {
 	cells := int64(m) * int64(m+n)
 	if cells < int64(th) {
 		return fmt.Sprintf("root tableau %dx%d (%d cells) under threshold %d", m, m+n, cells, th)
-	}
-	frac := 0
-	for j, isInt := range s.isInt {
-		if isInt && isFrac(s.lps.X(j)) {
-			frac++
-		}
-	}
-	if frac < minParallelFrac {
-		return fmt.Sprintf("%d fractional integers at the root (min %d): tree too thin to split", frac, minParallelFrac)
 	}
 	return ""
 }

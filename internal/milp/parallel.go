@@ -1,15 +1,11 @@
 package milp
 
 import (
-	"context"
 	"math"
-	"runtime/pprof"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/lp"
 	"repro/internal/trace"
 )
 
@@ -39,13 +35,22 @@ type shared struct {
 	sample   int64
 	dispBits atomic.Uint64
 
+	// First-incumbent bookkeeping for the time-to-first-solution
+	// experiment columns: firstInc flips once, on the first install that
+	// actually improved the incumbent (a primed InitialUpper does not
+	// count), stamping the global node count and the elapsed time.
+	start        time.Time
+	firstInc     atomic.Bool
+	firstIncNode atomic.Int64
+	firstIncNS   atomic.Int64
+
 	mu     sync.Mutex // guards incObj/incX (the authoritative pair)
 	incObj float64
 	incX   []float64
 }
 
-func newShared(upper float64, tr *trace.Tracer) *shared {
-	sh := &shared{incObj: upper, tr: tr, sample: tr.SampleEvery()}
+func newShared(upper float64, tr *trace.Tracer, start time.Time) *shared {
+	sh := &shared{incObj: upper, tr: tr, sample: tr.SampleEvery(), start: start}
 	sh.incBits.Store(math.Float64bits(upper))
 	sh.dispBits.Store(math.Float64bits(math.Inf(-1)))
 	return sh
@@ -80,6 +85,10 @@ func (sh *shared) install(obj float64, x []float64, worker int) bool {
 	}
 	sh.mu.Unlock()
 	if improved {
+		if sh.firstInc.CompareAndSwap(false, true) {
+			sh.firstIncNode.Store(sh.nodes.Load())
+			sh.firstIncNS.Store(time.Since(sh.start).Nanoseconds())
+		}
 		sh.emitProgress(trace.KindIncumbent, worker, 0)
 	}
 	return improved
@@ -171,166 +180,13 @@ type fix struct {
 // subproblem is an unexplored subtree handed to a worker: the branching
 // prefix that defines it, its parent LP bound (already ceil-rounded
 // when the objective is integral) used for best-bound aggregation when
-// the search stops early, and the recorder node id of the split-phase
-// node it was collected at, so the worker's pickup re-solve appears as
-// that node's child in a recording.
+// the search stops early, and the recorder node id of the node it was
+// donated at, so the worker's pickup re-solve appears as that node's
+// child in a recording.
 type subproblem struct {
 	fixes  []fix
 	bound  float64
 	parent int64
-}
-
-// splitFactor subproblems per worker keeps the queue long enough that
-// an early-finishing worker always finds more work.
-const splitFactor = 4
-
-// solveParallel runs the parallel search: expand the tree serially
-// until enough independent subproblems exist, then let
-// Options.Parallelism workers — each owning a cloned LP solver — drain
-// them, pruning against the shared incumbent. Called with the root LP
-// already solved to optimality; res.BestBound holds the root bound and
-// is tightened here when the search is stopped early.
-func (s *solver) solveParallel(res *Result, rootMeta nodeMeta) {
-	workers := s.opt.Parallelism
-	target := workers * splitFactor
-	depth := 1
-	for 1<<depth < target && depth < 16 {
-		depth++
-	}
-	var subs []subproblem
-	s.splitDepth = depth
-	s.collect = &subs
-	s.branch(lp.StatusOptimal, 0, rootMeta)
-	s.collect = nil
-	if s.reason != reasonNone || len(subs) == 0 {
-		// a limit hit during the split, or the split alone finished the
-		// tree — either way the serial finalization applies as-is
-		return
-	}
-
-	var next atomic.Int64
-	completed := make([]atomic.Bool, len(subs))
-	ws := make([]*solver, workers)
-	for w := range ws {
-		ws[w] = &solver{
-			lps:      s.lps.Clone(), // clone carries Prof: workers share the profile
-			prob:     s.prob,
-			opt:      s.opt,
-			ctx:      s.ctx,
-			isInt:    s.isInt,
-			sh:       s.sh,
-			brancher: forkBrancher(s.brancher),
-			worker:   w + 1,
-			rec:      s.rec,
-			prof:     s.prof,
-		}
-		ws[w].observer = observerOf(ws[w].brancher)
-	}
-	var wg sync.WaitGroup
-	for _, w := range ws {
-		wg.Add(1)
-		go func(w *solver) {
-			defer wg.Done()
-			// label the goroutine so CPU profiles slice by worker
-			pprof.Do(s.ctx, pprof.Labels("tp_worker", strconv.Itoa(w.worker)), func(context.Context) {
-				w.drain(subs, &next, completed)
-			})
-		}(w)
-	}
-	wg.Wait()
-	for _, w := range ws {
-		s.lps.Iterations += w.lps.Iterations
-		s.lps.Counters.Add(w.lps.Counters)
-	}
-	if r := s.sh.stopRequested(); r != reasonNone {
-		s.reason = r
-		// best-bound aggregation: the proved lower bound is the minimum
-		// over the subproblems that were not fully explored (children
-		// bounds only tighten, so each open subtree is covered by its
-		// recorded root bound). The incumbent clamp happens in the
-		// caller's finalization.
-		open := math.Inf(1)
-		for i := range subs {
-			if !completed[i].Load() && subs[i].bound < open {
-				open = subs[i].bound
-			}
-		}
-		if !math.IsInf(open, 1) && open > res.BestBound {
-			res.BestBound = open
-		}
-	}
-}
-
-// drain is a parallel worker's main loop: claim the next subproblem,
-// re-anchor the cloned LP at the root basis, replay the branching
-// prefix and explore the subtree.
-func (w *solver) drain(subs []subproblem, next *atomic.Int64, completed []atomic.Bool) {
-	// re-anchor at the root-optimal basis before every
-	// subproblem: cheaper than a fresh Clone and it discards
-	// any numerical drift from the previous subtree
-	snap := w.lps.Snapshot()
-	for {
-		if w.sh.stopRequested() != reasonNone {
-			return
-		}
-		i := int(next.Add(1)) - 1
-		if i >= len(subs) {
-			return
-		}
-		if w.sh.tr != nil {
-			w.sh.tr.Emit(trace.Event{Kind: trace.KindWorker,
-				Worker: w.worker, Subproblem: i + 1,
-				Nodes: w.sh.nodes.Load(), Msg: "pickup"})
-		}
-		sp := subs[i]
-		w.lps.Restore(snap)
-		for _, f := range sp.fixes {
-			w.lps.SetBound(f.col, f.val, f.val)
-		}
-		m := nodeMeta{parent: sp.parent, col: -1}
-		if n := len(sp.fixes); n > 0 {
-			m.col = int32(sp.fixes[n-1].col)
-			if sp.fixes[n-1].val >= 0.5 {
-				m.dir = 1
-			}
-		}
-		var t0 time.Time
-		var piv0 int
-		if w.prof != nil {
-			t0, piv0 = time.Now(), w.lps.Iterations
-		}
-		cst := w.lps.ReOptimize()
-		if w.prof != nil {
-			m.ns = time.Since(t0).Nanoseconds()
-			m.pivots = int64(w.lps.Iterations - piv0)
-			w.prof.Observe(trace.PhaseNodeLP, m.ns)
-		}
-		w.branch(cst, len(sp.fixes), m)
-		if w.reason != reasonNone {
-			w.sh.requestStop(w.reason)
-			return
-		}
-		completed[i].Store(true)
-		if w.sh.tr != nil {
-			// the proved bound is min over still-open subproblem
-			// bounds, clamped to the incumbent; the ratchet keeps
-			// the streamed sequence monotone (open-min only grows
-			// as subproblems finish, and the incumbent can never
-			// fall below a valid proved bound).
-			open := math.Inf(1)
-			for j := range subs {
-				if !completed[j].Load() && subs[j].bound < open {
-					open = subs[j].bound
-				}
-			}
-			if inc := w.sh.incumbent(); open > inc {
-				open = inc
-			}
-			if w.sh.raiseBound(open) {
-				w.sh.emitProgress(trace.KindBound, w.worker, i+1)
-			}
-		}
-	}
 }
 
 // Forker is implemented by stateful Branchers that can produce an

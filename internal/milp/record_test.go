@@ -3,6 +3,7 @@ package milp
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/trace"
@@ -215,8 +216,8 @@ func TestParallelGateHonorsLargeRequest(t *testing.T) {
 		switch e.Kind {
 		case trace.KindPlan:
 			sawPlan = true
-			if e.Msg != "parallel search" {
-				t.Fatalf("plan event %+v, want parallel search", e)
+			if !strings.HasPrefix(e.Msg, "mode=steal") {
+				t.Fatalf("plan event %+v, want a mode=steal decision", e)
 			}
 		case trace.KindWorker:
 			sawWorker = true

@@ -29,14 +29,17 @@ package service
 //	GET    /v1/stats            aggregate metrics snapshot (JSON)
 //	GET    /v1/healthz          liveness
 //
-// Errors are a uniform envelope: {"error":{"code":..., "message":...}}.
+// Errors are a uniform envelope: {"error":{"code":..., "message":...}},
+// including the catch-all 404 for unknown paths.
 //
-// The pre-versioning paths (/solve, /jobs, /jobs/{id}, /metrics,
-// /healthz) remain mounted as deprecated aliases of their /v1
-// successors — same handlers, plus a "Deprecation: true" header and a
-// successor-version Link. /metrics keeps its historical JSON body (the
-// Prometheus text format is new with /v1/metrics, served as /v1/stats'
-// sibling). The aliases will be removed in a future major version.
+// The pre-versioning aliases (/solve, /jobs, /jobs/{id}, the JSON
+// /metrics) served through several deprecation cycles with
+// "Deprecation: true" headers and successor-version Links; they are
+// now gone — requests to them get the typed 404 envelope whose message
+// names the /v1 successor. The one survivor is GET /healthz: liveness
+// probes are wired into infrastructure outside the API's versioning
+// (load balancers, container runtimes), so the unversioned path stays
+// as a permanent alias of /v1/healthz.
 //
 // Only net/http and encoding/json; no external dependencies.
 
@@ -66,30 +69,43 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/recording", a.recording)
 	mux.HandleFunc("GET /v1/jobs/{id}/certificate", a.certificate)
 
-	// deprecated unversioned aliases
-	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", a.healthz))
-	mux.HandleFunc("GET /metrics", deprecated("/v1/stats", a.stats))
-	mux.HandleFunc("POST /solve", deprecated("/v1/solve", a.solve))
-	mux.HandleFunc("POST /jobs", deprecated("/v1/jobs", a.submit))
-	mux.HandleFunc("GET /jobs/{id}", deprecated("/v1/jobs/{id}", a.job))
-	mux.HandleFunc("DELETE /jobs/{id}", deprecated("/v1/jobs/{id}", a.cancel))
+	// the liveness exception: probes configured in infrastructure
+	// predate (and outlive) API versioning
+	mux.HandleFunc("GET /healthz", a.healthz)
+
+	// everything else — including the removed pre-/v1 aliases — gets
+	// the typed 404 envelope instead of the mux's plain-text default
+	mux.HandleFunc("/", a.notFound)
 
 	return mux
-}
-
-// deprecated wraps a handler with the deprecation headers pointing at
-// the /v1 successor route.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
-	}
 }
 
 // api holds the handler methods; one instance per NewHandler call.
 type api struct {
 	s *Service
+}
+
+// notFound is the catch-all for paths outside the mounted API,
+// answering with the uniform error envelope. The removed pre-/v1
+// aliases get a message pointing at their successor so old clients
+// see where to migrate.
+func (a *api) notFound(w http.ResponseWriter, r *http.Request) {
+	successor := map[string]string{
+		"/solve":   "/v1/solve",
+		"/jobs":    "/v1/jobs",
+		"/metrics": "/v1/stats",
+	}
+	path := r.URL.Path
+	s, ok := successor[path]
+	if !ok && len(path) > len("/jobs/") && path[:len("/jobs/")] == "/jobs/" {
+		s, ok = "/v1"+path, true
+	}
+	if ok {
+		writeError(w, http.StatusNotFound, "gone",
+			fmt.Sprintf("the unversioned %s endpoint was removed; use %s", path, s))
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint %s", path))
 }
 
 func (a *api) healthz(w http.ResponseWriter, r *http.Request) {

@@ -69,7 +69,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 
 	// async: submit, then poll to completion
-	resp, data := postJSON(t, ts.URL+"/jobs", fastRequest())
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", fastRequest())
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST /jobs status %d: %s", resp.StatusCode, data)
 	}
@@ -85,7 +85,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 			t.Fatalf("job %s stuck %s", job.ID, job.Status)
 		}
 		time.Sleep(5 * time.Millisecond)
-		getJSON(t, ts.URL+"/jobs/"+job.ID, &job)
+		getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &job)
 	}
 	if job.Status != StatusDone || job.Result == nil || !job.Result.Feasible {
 		t.Fatalf("async job ended %s: %+v", job.Status, job.Result)
@@ -93,7 +93,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	asyncComm := job.Result.Comm
 
 	// sync: the identical request is served from the cache
-	resp, data = postJSON(t, ts.URL+"/solve", fastRequest())
+	resp, data = postJSON(t, ts.URL+"/v1/solve", fastRequest())
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST /solve status %d: %s", resp.StatusCode, data)
 	}
@@ -110,7 +110,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 
 	// metrics reflect both jobs
 	var st Stats
-	getJSON(t, ts.URL+"/metrics", &st)
+	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.Submitted != 2 || st.Completed != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
 		t.Fatalf("metrics after two jobs: %+v", st)
 	}
@@ -134,7 +134,7 @@ func TestHTTPSolveCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/solve", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestHTTPSolveCancel(t *testing.T) {
 	// wait until the solve is actually running, then hang up
 	for end := time.Now().Add(10 * time.Second); ; {
 		var st Stats
-		getJSON(t, ts.URL+"/metrics", &st)
+		getJSON(t, ts.URL+"/v1/stats", &st)
 		if st.Running == 1 {
 			break
 		}
@@ -166,7 +166,7 @@ func TestHTTPSolveCancel(t *testing.T) {
 	// a couple of seconds or the cancellation did not reach the solver
 	var st Stats
 	for end := time.Now().Add(5 * time.Second); ; {
-		getJSON(t, ts.URL+"/metrics", &st)
+		getJSON(t, ts.URL+"/v1/stats", &st)
 		if st.Running == 0 && st.InFlight == 0 {
 			break
 		}
@@ -182,7 +182,7 @@ func TestHTTPSolveCancel(t *testing.T) {
 	// must not grow afterwards: nothing is still searching
 	nodes := st.TotalNodes
 	time.Sleep(300 * time.Millisecond)
-	getJSON(t, ts.URL+"/metrics", &st)
+	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.TotalNodes != nodes {
 		t.Fatalf("node counter still moving after cancel: %d -> %d", nodes, st.TotalNodes)
 	}
@@ -192,7 +192,7 @@ func TestHTTPJobCancelAndErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
 	// occupy the worker, then cancel the job over HTTP
-	resp, data := postJSON(t, ts.URL+"/jobs", heavyRequest(8))
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", heavyRequest(8))
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST /jobs status %d: %s", resp.StatusCode, data)
 	}
@@ -200,7 +200,7 @@ func TestHTTPJobCancelAndErrors(t *testing.T) {
 	if err := json.Unmarshal(data, &job); err != nil {
 		t.Fatal(err)
 	}
-	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil)
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,11 +218,11 @@ func TestHTTPJobCancelAndErrors(t *testing.T) {
 	}
 
 	// error paths
-	resp, _ = postJSON(t, ts.URL+"/solve", map[string]any{"graph": ""})
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", map[string]any{"graph": ""})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty graph -> %d, want 400", resp.StatusCode)
 	}
-	badJSON, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader("{nope"))
+	badJSON, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{nope"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestHTTPJobCancelAndErrors(t *testing.T) {
 	if badJSON.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed JSON -> %d, want 400", badJSON.StatusCode)
 	}
-	if resp := getJSON(t, ts.URL+"/jobs/zzz", nil); resp.StatusCode != http.StatusNotFound {
+	if resp := getJSON(t, ts.URL+"/v1/jobs/zzz", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job -> %d, want 404", resp.StatusCode)
 	}
 
@@ -243,7 +243,7 @@ func TestHTTPJobCancelAndErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw["device"] = "xc4025"
-	resp, data = postJSON(t, ts.URL+"/solve", raw)
+	resp, data = postJSON(t, ts.URL+"/v1/solve", raw)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("string device -> %d: %s", resp.StatusCode, data)
 	}

@@ -232,72 +232,97 @@ func TestV1MetricsPrometheus(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAliases checks that the pre-versioning paths still work
-// and carry the deprecation headers pointing at their /v1 successors.
-func TestDeprecatedAliases(t *testing.T) {
+// TestRemovedAliases checks the end state of the pre-/v1 deprecation
+// cycle: the unversioned paths are gone and answer with the typed 404
+// envelope naming their /v1 successor, except GET /healthz, which
+// survives as a permanent liveness alias for probes configured outside
+// the API's versioning.
+func TestRemovedAliases(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close(context.Background())
 	ts := httptest.NewServer(NewHandler(s))
 	defer ts.Close()
 
-	get := func(path string) (*http.Response, string) {
+	checkGone := func(resp *http.Response, path, successor string) {
 		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+		var e errorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: 404 body is not the error envelope: %v", path, err)
+		}
+		if e.Error.Code != "gone" {
+			t.Errorf("%s: error code %q, want gone", path, e.Error.Code)
+		}
+		if !strings.Contains(e.Error.Message, successor) {
+			t.Errorf("%s: message %q does not name successor %s", path, e.Error.Message, successor)
+		}
+	}
+
+	for _, tc := range []struct{ alias, successor string }{
+		{"/metrics", "/v1/stats"},
+		{"/jobs/some-id", "/v1/jobs/some-id"},
+	} {
+		resp, err := http.Get(ts.URL + tc.alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGone(resp, "GET "+tc.alias, tc.successor)
+	}
+	body, _ := json.Marshal(fastRequest())
+	for _, tc := range []struct{ alias, successor string }{
+		{"/solve", "/v1/solve"},
+		{"/jobs", "/v1/jobs"},
+	} {
+		resp, err := http.Post(ts.URL+tc.alias, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGone(resp, "POST "+tc.alias, tc.successor)
+	}
+
+	// unknown paths outside the alias set get the envelope too
+	resp, err := http.Get(ts.URL + "/no/such/endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+		}
+		var e errorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("unknown path: 404 body is not the error envelope: %v", err)
+		}
+		if e.Error.Code != "not_found" {
+			t.Errorf("unknown path: error code %q, want not_found", e.Error.Code)
+		}
+	}()
+
+	// the liveness exception: /healthz still answers, identically to
+	// /v1/healthz and without deprecation headers
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		body, err := io.ReadAll(resp.Body)
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
 		if err != nil {
 			t.Fatal(err)
 		}
-		return resp, string(body)
-	}
-
-	for _, tc := range []struct{ alias, successor string }{
-		{"/healthz", "/v1/healthz"},
-		{"/metrics", "/v1/stats"}, // the JSON body moved to /v1/stats
-	} {
-		old, oldBody := get(tc.alias)
-		if old.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s: status %d", tc.alias, old.StatusCode)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
 		}
-		if dep := old.Header.Get("Deprecation"); dep != "true" {
-			t.Errorf("GET %s: Deprecation header %q, want true", tc.alias, dep)
+		if resp.Header.Get("Deprecation") != "" {
+			t.Errorf("GET %s: unexpected Deprecation header", path)
 		}
-		if link := old.Header.Get("Link"); !strings.Contains(link, tc.successor) ||
-			!strings.Contains(link, "successor-version") {
-			t.Errorf("GET %s: Link header %q lacks successor %s", tc.alias, link, tc.successor)
+		if !strings.Contains(string(b), `"ok"`) {
+			t.Errorf("GET %s: body %s", path, b)
 		}
-		v1, v1Body := get(tc.successor)
-		if v1.Header.Get("Deprecation") != "" {
-			t.Errorf("GET %s: unexpected Deprecation header", tc.successor)
-		}
-		if oldBody != v1Body {
-			t.Errorf("GET %s body differs from %s:\n%s\nvs\n%s",
-				tc.alias, tc.successor, oldBody, v1Body)
-		}
-	}
-
-	// the alias /jobs accepts submissions exactly like /v1/jobs
-	var job JobInfo
-	body, _ := json.Marshal(fastRequest())
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("POST /jobs: status %d", resp.StatusCode)
-	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Error("POST /jobs: no Deprecation header")
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		t.Fatal(err)
-	}
-	if info := waitFinished(t, s, job.ID, 30*time.Second); info.Status != StatusDone {
-		t.Fatalf("aliased job finished %s: %s", info.Status, info.Error)
 	}
 }
 

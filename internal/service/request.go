@@ -240,13 +240,23 @@ func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) 
 // canonicalKey hashes the full instance identity — graph, exploration
 // set, device parameters (N, L, Ms, C, alpha) and solver options —
 // over canonical serializations, so textual variations of the same
-// request (whitespace, map order) collapse to one key. Parallelism and
-// ParallelThreshold are deliberately excluded: a parallel solve returns
-// the same result as a serial one, so requests differing only in worker
-// count or gating deduplicate and share cache entries.
+// request (whitespace, map order) collapse to one key. The search
+// knobs are folded through EffectiveSearch first, so the legacy flat
+// spelling and the options.search spelling of one configuration share
+// a cache entry. Parallelism and Threshold are deliberately excluded:
+// a parallel solve returns the same result as a serial one, so
+// requests differing only in worker count or gating deduplicate. The
+// mode, branch rule and strengthening toggles stay in the key — they
+// cannot change the optimum, but they can change which of several
+// tied optimal assignments is reported.
 func canonicalKey(g *graph.Graph, alloc *library.Allocation, dev library.Device, opt core.Options) string {
+	eff := opt.EffectiveSearch()
+	eff.Parallelism = 0
+	eff.Threshold = 0
+	opt.Search = nil // a pointer: %+v would hash its address
 	opt.Parallelism = 0
 	opt.ParallelThreshold = 0
+	opt.Branch = eff.Branch
 	// per-job observability must not perturb the identity
 	opt.Trace = nil
 	opt.Record = nil
@@ -256,5 +266,6 @@ func canonicalKey(g *graph.Graph, alloc *library.Allocation, dev library.Device,
 	fmt.Fprintf(h, "alloc:%s\n", alloc.String())
 	fmt.Fprintf(h, "device:%s|%d|%g|%d\n", dev.Name, dev.CapacityFG, dev.Alpha, dev.ScratchMem)
 	fmt.Fprintf(h, "options:%+v\n", opt)
+	fmt.Fprintf(h, "search:%+v\n", eff)
 	return hex.EncodeToString(h.Sum(nil))
 }

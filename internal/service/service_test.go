@@ -405,6 +405,67 @@ func TestCanonicalKeyIdentity(t *testing.T) {
 	}
 }
 
+// TestCanonicalKeySearchOptions pins the consolidated search group's
+// cache semantics: the legacy flat spelling and the options.search
+// spelling of one configuration share a key, worker count and gate
+// threshold never enter the key no matter which spelling carries them,
+// and the knobs that can change the reported assignment (mode, branch,
+// cuts, dive) do split cache entries.
+func TestCanonicalKeySearchOptions(t *testing.T) {
+	compile := func(mut func(*Request)) *instance {
+		t.Helper()
+		r := fastRequest()
+		mut(r)
+		ci, err := r.compile(time.Minute, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ci
+	}
+	base := compile(func(*Request) {})
+
+	// the two spellings of the same branch rule collapse to one key
+	flat := compile(func(r *Request) { r.Options.Branch = core.BranchMostFrac })
+	grouped := compile(func(r *Request) {
+		r.Options.Search = &core.SearchOptions{Branch: core.BranchMostFrac}
+	})
+	if flat.key != grouped.key {
+		t.Fatal("flat and search spellings of the same branch rule hash differently")
+	}
+	if flat.key == base.key {
+		t.Fatal("branch rule absent from the cache key")
+	}
+
+	// parallelism and threshold are excluded regardless of spelling
+	par := compile(func(r *Request) {
+		r.Options.Search = &core.SearchOptions{Parallelism: 8, Threshold: -1}
+	})
+	if par.key != base.key {
+		t.Fatal("search parallelism/threshold changed the cache key")
+	}
+	if par.opt.EffectiveSearch().Parallelism != 8 {
+		t.Fatal("search parallelism lost in compilation")
+	}
+
+	// mode and the strengthening toggles are part of the identity
+	for i, mut := range []func(*Request){
+		func(r *Request) { r.Options.Search = &core.SearchOptions{Mode: core.SearchPortfolio} },
+		func(r *Request) { r.Options.Search = &core.SearchOptions{Cuts: core.ToggleOn} },
+		func(r *Request) { r.Options.Search = &core.SearchOptions{Dive: core.ToggleOff} },
+	} {
+		if ci := compile(mut); ci.key == base.key {
+			t.Errorf("case %d: search knob absent from the cache key", i)
+		}
+	}
+
+	// an out-of-range search group is rejected at compile time
+	bad := fastRequest()
+	bad.Options.Search = &core.SearchOptions{Parallelism: -2}
+	if _, err := bad.compile(time.Minute, 0); err == nil {
+		t.Fatal("invalid search options compiled")
+	}
+}
+
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
 	res := &core.Result{}

@@ -29,6 +29,13 @@ package trace
 //	factorize     — revised engine: sparse LU (re)factorizations of the
 //	                basis (the dense engine's rebuilds stay under
 //	                refactorize)
+//
+// Root-level phases happen once, before the tree search, and belong to
+// neither group (they are outside the node-level sum):
+//
+//	cut-gen       — root strengthening: cut separation, row appends and
+//	                the augmented-root re-optimization
+//	dive          — the root diving heuristic's LP dives
 type Phase int
 
 // Phases, grouped by level. NumPhases bounds the enum for array sizing.
@@ -47,6 +54,8 @@ const (
 	PhaseFTRAN
 	PhaseBTRAN
 	PhaseFactorize
+	PhaseCutGen
+	PhaseDive
 	NumPhases
 )
 
@@ -64,6 +73,8 @@ var phaseNames = [NumPhases]string{
 	PhaseFTRAN:        "ftran",
 	PhaseBTRAN:        "btran",
 	PhaseFactorize:    "factorize",
+	PhaseCutGen:       "cut-gen",
+	PhaseDive:         "dive",
 }
 
 func (p Phase) String() string {

@@ -82,6 +82,20 @@ type LPStat struct {
 	FactorNNZ      int64  `json:"factor_nnz,omitempty"`
 }
 
+// CutRec records one root-strengthening cutting plane appended to the
+// model before the tree search: its family name, sparse coefficients
+// and range, so a recording fully describes the cut-augmented model a
+// replayed search ran on. Nil Lo/Hi stand for -Inf/+Inf (JSON cannot
+// carry non-finite numbers).
+type CutRec struct {
+	Name string    `json:"name"`
+	Idx  []int     `json:"idx,omitempty"`
+	Val  []float64 `json:"val,omitempty"`
+	Lo   *float64  `json:"lo,omitempty"`
+	Hi   *float64  `json:"hi,omitempty"`
+	TMS  float64   `json:"t_ms,omitempty"`
+}
+
 // AmendRec is the amend-lineage stamp of a recording: which job (by
 // id) this solve amended, the amend generation (1 for the first amend
 // of a cold job), and the delta classification/path the engine
@@ -111,6 +125,7 @@ type Recorder struct {
 	limit   int
 	nodes   []NodeRec
 	incs    []IncRec
+	cuts    []CutRec
 	dropped int64
 	prof    *Profile
 
@@ -122,6 +137,12 @@ type Recorder struct {
 	cert   *exact.Certificate
 	amend  *AmendRec
 	lpstat *LPStat
+
+	// search-scheduler stats, set once by SetSearchStats
+	mode          string
+	steals        int64
+	firstIncNodes int64
+	firstIncNS    int64
 }
 
 // NewRecorder returns a recorder keeping at most limit nodes;
@@ -202,6 +223,36 @@ func (r *Recorder) Incumbent(node int64, obj float64) {
 	r.mu.Unlock()
 }
 
+// Cut records one root-strengthening cut, stamping its TMS. Cut marks
+// are never dropped: there are at most a few dozen per solve and they
+// define the model the recorded search explored. No-op on nil.
+func (r *Recorder) Cut(c CutRec) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	c.TMS = float64(time.Since(r.start)) / float64(time.Millisecond)
+	r.cuts = append(r.cuts, c)
+	r.mu.Unlock()
+}
+
+// SetSearchStats stamps the search-scheduler summary onto the footer:
+// the scheduler mode that ran (serial/steal/portfolio), the number of
+// subproblem steals, and when the first incumbent landed (global node
+// count and nanoseconds since the solve started; zero when no incumbent
+// was found). No-op on nil.
+func (r *Recorder) SetSearchStats(mode string, steals, firstIncNodes, firstIncNS int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.mode = mode
+	r.steals = steals
+	r.firstIncNodes = firstIncNodes
+	r.firstIncNS = firstIncNS
+	r.mu.Unlock()
+}
+
 // Finalize stamps the terminal solve outcome: status string, wall
 // time, total explored nodes (which may exceed the recorded count when
 // the limit dropped some) and total LP pivots. No-op on nil.
@@ -262,18 +313,23 @@ func (r *Recorder) Snapshot() *Recording {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rec := &Recording{
-		Label:       r.label,
-		Nodes:       append([]NodeRec(nil), r.nodes...),
-		Incumbents:  append([]IncRec(nil), r.incs...),
-		Dropped:     r.dropped,
-		Status:      r.status,
-		WallNS:      r.wallNS,
-		TotalNodes:  r.total,
-		Pivots:      r.pivots,
-		Phases:      r.prof.Snapshot(),
-		Certificate: r.cert,
-		Amend:       r.amend,
-		LP:          r.lpstat,
+		Label:         r.label,
+		Nodes:         append([]NodeRec(nil), r.nodes...),
+		Incumbents:    append([]IncRec(nil), r.incs...),
+		Cuts:          append([]CutRec(nil), r.cuts...),
+		Dropped:       r.dropped,
+		Status:        r.status,
+		WallNS:        r.wallNS,
+		TotalNodes:    r.total,
+		Pivots:        r.pivots,
+		Phases:        r.prof.Snapshot(),
+		Certificate:   r.cert,
+		Amend:         r.amend,
+		LP:            r.lpstat,
+		Mode:          r.mode,
+		Steals:        r.steals,
+		FirstIncNodes: r.firstIncNodes,
+		FirstIncNS:    r.firstIncNS,
 	}
 	return rec
 }
@@ -306,6 +362,16 @@ type Recording struct {
 	// factorization/solve counters); nil on recordings made before the
 	// field existed.
 	LP *LPStat
+	// Cuts lists the root-strengthening cutting planes appended before
+	// the recorded search; empty when strengthening was off.
+	Cuts []CutRec
+	// Search-scheduler stats (additive footer fields, zero on old
+	// recordings): the mode that ran, subproblem steals, and the global
+	// node count / nanoseconds at the first incumbent install.
+	Mode          string
+	Steals        int64
+	FirstIncNodes int64
+	FirstIncNS    int64
 }
 
 // recLine is one NDJSON line of the codec: a kind tag plus exactly one
@@ -323,6 +389,8 @@ type recLine struct {
 	C *exact.Certificate `json:"c,omitempty"`
 	// A carries the amend lineage ("amend" lines) — additive like C.
 	A *AmendRec `json:"a,omitempty"`
+	// X carries a root-strengthening cut ("cut" lines) — additive like C.
+	X *CutRec `json:"x,omitempty"`
 }
 
 type recHdr struct {
@@ -339,6 +407,12 @@ type recFooter struct {
 	Phases  []PhaseStat `json:"phases,omitempty"`
 	// LP is additive: absent on old recordings, skipped by old decoders.
 	LP *LPStat `json:"lp,omitempty"`
+	// Search-scheduler stats, additive like LP.
+	Mode          string `json:"mode,omitempty"`
+	Steals        int64  `json:"steals,omitempty"`
+	Cuts          int    `json:"cuts,omitempty"`
+	FirstIncNodes int64  `json:"first_inc_nodes,omitempty"`
+	FirstIncNS    int64  `json:"first_inc_ns,omitempty"`
 }
 
 // Encode writes the recording as NDJSON, gzip-compressed when compress
@@ -374,6 +448,11 @@ func (rec *Recording) encodePlain(w io.Writer) error {
 			return err
 		}
 	}
+	for i := range rec.Cuts {
+		if err := enc.Encode(recLine{RK: "cut", X: &rec.Cuts[i]}); err != nil {
+			return err
+		}
+	}
 	if rec.Certificate != nil {
 		if err := enc.Encode(recLine{RK: "cert", C: rec.Certificate}); err != nil {
 			return err
@@ -387,7 +466,8 @@ func (rec *Recording) encodePlain(w io.Writer) error {
 	f := &recFooter{
 		Status: rec.Status, WallNS: rec.WallNS, Nodes: rec.TotalNodes,
 		Pivots: rec.Pivots, Dropped: rec.Dropped, Phases: rec.Phases,
-		LP: rec.LP,
+		LP: rec.LP, Mode: rec.Mode, Steals: rec.Steals, Cuts: len(rec.Cuts),
+		FirstIncNodes: rec.FirstIncNodes, FirstIncNS: rec.FirstIncNS,
 	}
 	if err := enc.Encode(recLine{RK: "ftr", F: f}); err != nil {
 		return err
@@ -447,6 +527,10 @@ func decodePlain(r io.Reader) (*Recording, error) {
 			rec.Certificate = line.C
 		case "amend":
 			rec.Amend = line.A
+		case "cut":
+			if line.X != nil {
+				rec.Cuts = append(rec.Cuts, *line.X)
+			}
 		case "ftr":
 			if line.F != nil {
 				rec.Status = line.F.Status
@@ -456,6 +540,10 @@ func decodePlain(r io.Reader) (*Recording, error) {
 				rec.Dropped = line.F.Dropped
 				rec.Phases = line.F.Phases
 				rec.LP = line.F.LP
+				rec.Mode = line.F.Mode
+				rec.Steals = line.F.Steals
+				rec.FirstIncNodes = line.F.FirstIncNodes
+				rec.FirstIncNS = line.F.FirstIncNS
 			}
 		default:
 			// unknown line kinds are skipped so minor-version additions

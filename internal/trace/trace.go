@@ -26,9 +26,16 @@ import (
 //	node      — sampled branch-and-bound progress (every SampleEvery nodes)
 //	incumbent — a new best integer-feasible solution was installed
 //	bound     — the proved lower bound moved (parallel best-bound ratchet)
-//	plan      — the solver chose its search strategy (parallel vs. the
-//	            serial fallback of the root-size gate); Msg explains why
+//	plan      — the solver chose its search strategy (work-stealing,
+//	            portfolio or the serial fallback of the root-size gate);
+//	            Msg names the chosen mode and explains a fallback
 //	worker    — a parallel worker picked up a subproblem
+//	steal     — a work-stealing worker stole a subproblem from a victim
+//	            (Worker is the thief; Msg names the victim)
+//	cut       — root strengthening appended a cutting plane (Msg names
+//	            the cut family and row)
+//	dive      — the root diving heuristic finished (Msg reports whether
+//	            an incumbent was found)
 //	status    — terminal branch-and-bound outcome with LP counters
 //	result    — terminal core-level outcome (after extraction/verification)
 //	job       — terminal service-level job transition
@@ -43,6 +50,9 @@ const (
 	KindBound     Kind = "bound"
 	KindPlan      Kind = "plan"
 	KindWorker    Kind = "worker"
+	KindSteal     Kind = "steal"
+	KindCut       Kind = "cut"
+	KindDive      Kind = "dive"
 	KindStatus    Kind = "status"
 	KindResult    Kind = "result"
 	KindJob       Kind = "job"
