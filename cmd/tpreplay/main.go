@@ -8,6 +8,8 @@
 //	tpsyn -graph fir.tg -record fir.rec && tpreplay fir.rec
 //	tpreplay -top 20 -dot tree.dot solve.rec.gz
 //	curl -s localhost:8080/v1/jobs/j0000001/recording | tpreplay -
+//	tpreplay -spans spans.ndjson
+//	curl -s localhost:8080/v1/jobs/j0000001/blackbox | tpreplay -blackbox -
 //
 // The input is the NDJSON codec of internal/trace, plain or gzipped
 // (auto-detected).
@@ -32,8 +34,19 @@ func main() {
 		bounds  = flag.Int("bounds", 20, "how many bound-convergence rows to print (0 disables)")
 		dotOut  = flag.String("dot", "", "export the search tree as a Graphviz DOT file")
 		certify = flag.Bool("certify", false, "re-run the embedded exact certificate's checks offline and print them (exit 1 when absent, 3 when invalid)")
+		spansIn = flag.String("spans", "", "pretty-print an NDJSON span file (tpserve -spans, GET .../spans) instead of a recording")
+		bbIn    = flag.String("blackbox", "", "pretty-print a black-box dump (tpserve -blackbox, GET .../blackbox) instead of a recording")
 	)
 	flag.Parse()
+	if *spansIn != "" || *bbIn != "" {
+		if *spansIn != "" {
+			fail(printSpanFile(*spansIn))
+		}
+		if *bbIn != "" {
+			fail(printBlackBoxFile(*bbIn))
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tpreplay [flags] <recording> (- for stdin)")
 		flag.PrintDefaults()
@@ -198,8 +211,10 @@ func printPhases(rec *trace.Recording) {
 			p.String(), ph.Count, time.Duration(ph.SumNS).Round(time.Microsecond), share(ph.SumNS, rec.WallNS))
 	}
 	nodeRow(trace.PhaseNodeLP)
-	// LP-internal phases subdivide node-lp: nested, as a share of it
-	for p := trace.PhasePricing; p < trace.NumPhases; p++ {
+	// LP-internal phases subdivide node-lp: nested, as a share of it.
+	// Root-level (cut-gen, dive) and service-level (queue-wait) phases
+	// overlap nothing and are printed as plain wall-share rows below.
+	for p := trace.PhasePricing; p <= trace.PhaseFactorize; p++ {
 		ph, ok := byName[p.String()]
 		if !ok {
 			continue
@@ -208,6 +223,9 @@ func printPhases(rec *trace.Recording) {
 			p.String(), ph.Count, time.Duration(ph.SumNS).Round(time.Microsecond), share(ph.SumNS, lpNS))
 	}
 	for p := trace.PhaseProbe; p <= trace.PhaseVerify; p++ {
+		nodeRow(p)
+	}
+	for p := trace.PhaseCutGen; p < trace.NumPhases; p++ {
 		nodeRow(p)
 	}
 	fmt.Printf("  coverage: node-level phases explain %.1f%% of the %v wall time\n",

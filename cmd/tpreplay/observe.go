@@ -1,0 +1,207 @@
+package main
+
+// Offline pretty-printers for the observability artifacts tpserve
+// produces alongside recordings: NDJSON span files (-spans) and
+// black-box anomaly dumps (-blackbox). Both read the exact wire forms
+// of internal/trace — the span sink's SpanRec lines and the BBDump
+// JSON of GET /v1/jobs/{id}/blackbox — so captures can be inspected
+// long after the server is gone.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func openArg(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// printSpanFile renders an NDJSON span stream as one indented tree per
+// trace, children under parents in start order. The file may interleave
+// spans of many traces (tpserve appends them as they finish).
+func printSpanFile(path string) error {
+	f, err := openArg(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var spans []trace.SpanRec
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec trace.SpanRec
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("parsing span line: %w", err)
+		}
+		// GET .../spans wraps the list in {"spans": [...]}; accept that
+		// form too by detecting an object with no span id
+		if rec.SpanID == "" {
+			var wrapped struct {
+				Spans []trace.SpanRec `json:"spans"`
+			}
+			if err := json.Unmarshal([]byte(line), &wrapped); err == nil && len(wrapped.Spans) > 0 {
+				spans = append(spans, wrapped.Spans...)
+				continue
+			}
+			return fmt.Errorf("span line has no span id: %s", line)
+		}
+		spans = append(spans, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans in %s", path)
+	}
+
+	byTrace := map[string][]trace.SpanRec{}
+	var order []string
+	for _, sp := range spans {
+		if _, ok := byTrace[sp.TraceID]; !ok {
+			order = append(order, sp.TraceID)
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	for i, id := range order {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("trace %s (%d spans)\n", id, len(byTrace[id]))
+		printSpanTree(byTrace[id])
+	}
+	return nil
+}
+
+// printSpanTree prints one trace's spans as a tree. Spans whose parent
+// is absent from the capture (still open, or from an upstream service)
+// are roots.
+func printSpanTree(spans []trace.SpanRec) {
+	children := map[string][]trace.SpanRec{}
+	ids := map[string]bool{}
+	for _, sp := range spans {
+		ids[sp.SpanID] = true
+	}
+	var roots []trace.SpanRec
+	for _, sp := range spans {
+		if sp.ParentID != "" && ids[sp.ParentID] {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(s []trace.SpanRec) {
+		sort.Slice(s, func(a, b int) bool { return s[a].StartMS < s[b].StartMS })
+	}
+	byStart(roots)
+	var walk func(sp trace.SpanRec, depth int)
+	walk = func(sp trace.SpanRec, depth int) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Printf("  %s%-*s %9.2fms", indent, 24-2*depth, spanLabel(sp), sp.DurMS)
+		if attrs := spanAttrs(sp); attrs != "" {
+			fmt.Printf("  %s", attrs)
+		}
+		fmt.Println()
+		kids := children[sp.SpanID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+func spanLabel(sp trace.SpanRec) string {
+	if sp.Worker > 0 || sp.Name == "worker" {
+		return fmt.Sprintf("%s[%d]", sp.Name, sp.Worker)
+	}
+	return sp.Name
+}
+
+// spanAttrs renders the span attributes compactly, string attributes
+// first, numeric sorted by key.
+func spanAttrs(sp trace.SpanRec) string {
+	var parts []string
+	for _, k := range sortedKeys(sp.Str) {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, sp.Str[k]))
+	}
+	for _, k := range sortedKeys(sp.Num) {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, sp.Num[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printBlackBoxFile renders a black-box dump: the flush verdict, then
+// the retained event tail oldest-first — the last moments of the search
+// before the anomaly.
+func printBlackBoxFile(path string) error {
+	f, err := openArg(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var d trace.BBDump
+	if err := json.NewDecoder(f).Decode(&d); err != nil {
+		return fmt.Errorf("parsing black-box dump: %w", err)
+	}
+	if d.Flushed {
+		fmt.Printf("black box: FLUSHED (%s) at %.1f ms\n", d.Reason, d.FlushTMS)
+	} else {
+		fmt.Printf("black box: live tail (no anomaly)\n")
+	}
+	fmt.Printf("events:    %d retained of %d recorded\n", len(d.Events), d.Total)
+	if len(d.Events) == 0 {
+		return nil
+	}
+	fmt.Printf("  %10s %-10s %8s %6s %5s %12s %12s  %s\n",
+		"t", "kind", "node", "worker", "depth", "bound", "incumbent", "detail")
+	for _, e := range d.Events {
+		bound, inc := "-", "-"
+		if e.Bound != 0 {
+			bound = fmt.Sprintf("%.4g", e.Bound)
+		}
+		if e.Incumbent != 0 {
+			inc = fmt.Sprintf("%.4g", e.Incumbent)
+		}
+		detail := e.Msg
+		if i := strings.IndexByte(detail, '\n'); i >= 0 {
+			detail = detail[:i] + " ..." // panic stacks span pages
+		}
+		if detail == "" && e.Obj != 0 {
+			detail = fmt.Sprintf("obj=%.4g", e.Obj)
+		}
+		fmt.Printf("  %8.1fms %-10s %8d %6d %5d %12s %12s  %s\n",
+			e.TMS, e.Kind, e.Node, e.Worker, e.Depth, bound, inc, detail)
+	}
+	if d.Flushed {
+		dur := time.Duration(d.FlushTMS * float64(time.Millisecond))
+		fmt.Printf("flush:     %s after %v of search\n", d.Reason, dur.Round(time.Millisecond))
+	}
+	return nil
+}

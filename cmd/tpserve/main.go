@@ -11,20 +11,29 @@
 //	GET    /v1/jobs/{id}        job status and result
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events live solver progress (Server-Sent Events)
+//	GET    /v1/jobs/{id}/spans  span tree of the job (finished spans)
+//	GET    /v1/jobs/{id}/blackbox
+//	                            black-box anomaly capture / live tail
+//	GET    /v1/debug/solves     live snapshot of every in-flight search
+//	GET    /v1/version          build identity
 //	GET    /v1/metrics          Prometheus text metrics
 //	GET    /v1/stats            service metrics snapshot (JSON)
 //	GET    /v1/healthz          liveness
 //
 // With -pprof, the standard net/http/pprof profiling handlers are
-// mounted under /debug/pprof/ on the same listener.
+// mounted under /debug/pprof/ on the same listener. With -spans FILE,
+// every finished span of every job is appended to FILE as NDJSON
+// (tpreplay -spans pretty-prints it). With -blackbox DIR, each job
+// whose black box flushes on an anomaly writes DIR/<job>.blackbox.json.
 //
 // Usage:
 //
-//	tpserve -addr :8080 -workers 4 -timeout 60s -pprof
+//	tpserve -addr :8080 -workers 4 -timeout 60s -stall-window 30s -pprof
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,10 +42,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,17 +59,57 @@ func main() {
 		cache    = flag.Int("cache", 0, "result-cache entries (0 = default, -1 disables)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "default per-solve time limit")
 		parallel = flag.Int("parallel", 0, "branch-and-bound workers per solve (0 = serial)")
+		stall    = flag.Duration("stall-window", 0, "gap-stall watchdog window (0 disables)")
+		spans    = flag.String("spans", "", "append finished spans to this NDJSON file")
+		blackbox = flag.String("blackbox", "", "write black-box anomaly dumps into this directory")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:            *workers,
 		QueueLimit:         *queue,
 		CacheSize:          *cache,
 		DefaultTimeout:     *timeout,
 		DefaultParallelism: *parallel,
-	})
+		StallWindow:        *stall,
+	}
+	if *spans != "" {
+		f, err := os.OpenFile(*spans, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(fmt.Errorf("opening span sink: %w", err))
+		}
+		defer f.Close()
+		var mu sync.Mutex
+		enc := json.NewEncoder(f)
+		cfg.SpanSink = func(rec trace.SpanRec) {
+			mu.Lock()
+			_ = enc.Encode(rec)
+			mu.Unlock()
+		}
+		log.Printf("tpserve: streaming spans to %s", *spans)
+	}
+	if *blackbox != "" {
+		if err := os.MkdirAll(*blackbox, 0o755); err != nil {
+			fail(fmt.Errorf("creating blackbox dir: %w", err))
+		}
+		dir := *blackbox
+		cfg.OnBlackBoxFlush = func(jobID string, d trace.BBDump) {
+			path := filepath.Join(dir, jobID+".blackbox.json")
+			data, err := json.MarshalIndent(d, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, data, 0o644)
+			}
+			if err != nil {
+				log.Printf("tpserve: writing black box for %s: %v", jobID, err)
+				return
+			}
+			log.Printf("tpserve: black box of %s flushed (%s) -> %s", jobID, d.Reason, path)
+		}
+		log.Printf("tpserve: black-box dumps to %s", dir)
+	}
+
+	svc := service.New(cfg)
 
 	handler := service.NewHandler(svc)
 	if *pprofOn {

@@ -119,13 +119,19 @@ func Build(inst Instance, opt Options) (*Model, error) {
 		Prod: map[[4]int]int{},
 		occ:  map[int][]int{},
 	}
+	buildSpan := opt.Span.Child("build") // nil-safe when spans are off
 	m.computeRanks()
 	m.computeDomains()
 	m.createVariables()
 	if err := m.emitConstraints(); err != nil {
+		buildSpan.End()
 		return nil, err
 	}
 	m.stats = m.P.Stats()
+	buildSpan.SetNum("vars", float64(m.stats.Vars))
+	buildSpan.SetNum("rows", float64(m.stats.Rows))
+	buildSpan.SetNum("nnz", float64(m.stats.NNZ))
+	buildSpan.End()
 	m.emitModelEvent()
 	return m, nil
 }

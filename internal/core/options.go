@@ -26,6 +26,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/library"
 	"repro/internal/lp"
+	"repro/internal/milp"
 	"repro/internal/trace"
 )
 
@@ -275,6 +276,24 @@ type Options struct {
 	// the MILP node loop and the LP engine (milp.Options.Profile). Never
 	// serialized; never part of the cache key.
 	Profile *trace.Profile `json:"-"`
+	// Span, when set, is the parent span of the solve: Build opens a
+	// "build" child and the search opens its stage spans under it
+	// (milp.Options.Span). Never serialized; never part of the cache
+	// key.
+	Span *trace.Span `json:"-"`
+	// BlackBox, when set, is the per-job keep-last anomaly recorder
+	// passed to the search (milp.Options.BlackBox). Never serialized;
+	// never part of the cache key.
+	BlackBox *trace.BlackBox `json:"-"`
+	// Status, when set, is attached to the running search for live
+	// introspection (milp.Options.Status). Never serialized; never
+	// part of the cache key.
+	Status *milp.SearchStatus `json:"-"`
+	// PanicNode and NodeDelay are fault-injection test hooks forwarded
+	// to milp.Options verbatim (panic at a global node index; sleep
+	// per node). Never serialized; never part of the cache key.
+	PanicNode int64         `json:"-"`
+	NodeDelay time.Duration `json:"-"`
 }
 
 // Validate checks the options for values no layer accepts: negative

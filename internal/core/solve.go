@@ -120,9 +120,13 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 	default:
 		brancher = milp.BrancherFunc(m.paperBranch)
 	}
+	presolveSpan := m.Opt.Span.Child("presolve") // nil-safe when spans are off
 	if m.ApplyPresolve() {
+		presolveSpan.SetStr("outcome", "solved")
+		presolveSpan.End()
 		return &Result{Stats: m.Stats(), Optimal: true}, nil
 	}
+	presolveSpan.End()
 	// Validate rejected unknown names; "" resolves to lp.EngineAuto.
 	engine, err := lp.ParseEngine(m.Opt.LPEngine)
 	if err != nil {
@@ -143,6 +147,11 @@ func (m *Model) solveContext(ctx context.Context) (*Result, error) {
 		Record:            m.Opt.Record,
 		Profile:           m.Opt.Profile,
 		Certify:           m.Opt.Certify,
+		Span:              m.Opt.Span,
+		BlackBox:          m.Opt.BlackBox,
+		Status:            m.Opt.Status,
+		PanicNode:         m.Opt.PanicNode,
+		NodeDelay:         m.Opt.NodeDelay,
 	}
 	// Root strengthening: explicit toggles win; auto enables the cuts
 	// and the dive exactly when a parallel search was requested (they

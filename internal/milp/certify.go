@@ -48,6 +48,12 @@ func (s *solver) attachCertificate(p *lp.Problem, res *Result, rw rootWitness) {
 	if s.sh != nil && s.sh.tr != nil {
 		s.sh.tr.Emit(trace.Event{Kind: trace.KindCertificate, Status: c.Kind, Msg: c.Summary()})
 	}
+	if !c.Valid && s.bb != nil {
+		// A failed certification is exactly the anomaly the black box
+		// exists for: the verdict is suspect, keep the recent history.
+		s.bb.Record(trace.BBEvent{Kind: trace.BBCertify, Msg: "certificate invalid: " + c.Summary()})
+		s.bb.Flush("certify-failed")
+	}
 }
 
 // buildCertificate assembles and checks the certificate for a finished

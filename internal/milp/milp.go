@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exact"
@@ -268,6 +269,33 @@ type Options struct {
 	// rounding dive that usually produces an early incumbent, seeding
 	// the pruning bound before any worker starts. Ignored under Warm.
 	Dive bool
+	// Span, when set, is the parent under which the solve opens its
+	// stage spans (root-lp, cuts, dive, search with per-worker
+	// children, certify), annotated with node/pivot counts and the LP
+	// engine counters. Nil disables span tracking at zero cost — the
+	// node loop never touches spans, so the off path stays
+	// allocation-free like Trace.
+	Span *trace.Span
+	// BlackBox, when set, receives a keep-last stream of flat per-node
+	// events plus incumbent installs, and is flushed automatically on
+	// anomalies: a recovered worker panic, a deadline/cancellation
+	// stop, or a failed certification. The service keeps one per job
+	// (always on); nil disables it behind a single pointer compare.
+	BlackBox *trace.BlackBox
+	// Status, when set, is attached to the running search so callers
+	// can poll live progress (nodes, incumbent, bound, gap, open
+	// subproblems, steals, per-worker phases) from the search's atomic
+	// mirrors without perturbing it. Nil is the off state.
+	Status *SearchStatus
+	// PanicNode, when positive, makes the worker that explores the
+	// node with this global index panic — a fault-injection hook for
+	// exercising the panic-recovery and black-box flush paths in
+	// tests. The off check is two compares per node.
+	PanicNode int64
+	// NodeDelay adds a sleep to every explored node — a test hook that
+	// keeps small instances in flight long enough for live
+	// introspection assertions. Zero (off) costs one compare per node.
+	NodeDelay time.Duration
 }
 
 // Result reports a solve.
@@ -352,6 +380,11 @@ type solver struct {
 	rec     *trace.Recorder
 	prof    *trace.Profile
 	curNode int64
+	// bb mirrors Options.BlackBox (shared across workers); span is the
+	// search-stage span under which parallel modes open their
+	// per-worker children. Both nil when off.
+	bb   *trace.BlackBox
+	span *trace.Span
 
 	// work-stealing state (see steal.go): pool is non-nil on the
 	// workers of a steal-mode solve, wslot is the worker's 0-based pool
@@ -433,9 +466,23 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		upper = opt.InitialUpper
 	}
 	s.sh = newShared(upper, opt.Trace, start)
+	s.sh.bb = opt.BlackBox
+	s.bb = opt.BlackBox
 	s.brancher = opt.Brancher
 	s.observer = observerOf(opt.Brancher)
 	lps.Ctx = ctx // bound individual LP solves too
+	if opt.Status != nil {
+		// Attach the live handle before any LP work so pollers see the
+		// solve from its first node; re-attached with the resolved mode
+		// once the plan is decided, marked finished on every return.
+		nw := opt.Parallelism
+		if nw < 1 {
+			nw = 1
+		}
+		s.sh.wphase = make([]atomic.Int32, nw+1)
+		opt.Status.attach(&liveSearch{sh: s.sh, mode: opt.Mode, workers: nw, start: start})
+		defer opt.Status.finish()
+	}
 
 	// Recording implies profiling so the recording footer always carries
 	// a phase breakdown; a caller-supplied Profile is reused as-is.
@@ -460,6 +507,7 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 	if s.prof != nil {
 		t0 = time.Now()
 	}
+	rootSpan := opt.Span.Child("root-lp") // nil-safe: nil when spans are off
 	var rootStatus lp.Status
 	if opt.Warm != nil {
 		rootStatus = lps.ReOptimize()
@@ -471,6 +519,11 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		rootMeta.ns = time.Since(t0).Nanoseconds()
 		s.prof.Observe(trace.PhaseNodeLP, rootMeta.ns)
 	}
+	rootSpan.SetStr("status", rootStatus.String())
+	rootSpan.SetStr("engine", lps.EngineKind().String())
+	rootSpan.SetNum("pivots", float64(lps.Iterations))
+	lps.Counters.AnnotateSpan(rootSpan)
+	rootSpan.End()
 	res := &Result{BestBound: math.Inf(-1), LPEngine: lps.EngineKind()}
 	switch rootStatus {
 	case lp.StatusInfeasible:
@@ -493,8 +546,14 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		// cancellation, deadline or iteration cap during the root
 		// solve: report an inconclusive run instead of an error
 		res.Status = StatusLimit
+		reason := "deadline"
 		if context.Cause(ctx) == context.Canceled {
 			res.Status = StatusCancelled
+			reason = "cancelled"
+		}
+		if s.bb != nil {
+			s.bb.Record(trace.BBEvent{Kind: trace.BBDeadline, Msg: "root LP stopped: " + reason})
+			s.bb.Flush(reason)
 		}
 		res.Runtime = time.Since(start)
 		res.LPIterations = lps.Iterations
@@ -513,11 +572,15 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		opt.OnRoot(lps)
 	}
 	if opt.RootCuts && opt.Warm == nil {
+		cutSpan := opt.Span.Child("cuts")
 		n, err := s.applyRootCuts()
 		if err != nil {
+			cutSpan.End()
 			return nil, err
 		}
 		res.CutsApplied = n
+		cutSpan.SetNum("applied", float64(n))
+		cutSpan.End()
 		lps = s.lps // a discarded cut round may have rebuilt the solver
 	}
 	// Root witnesses for certification must be taken now — after the
@@ -545,10 +608,22 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 			Pivots: int64(lps.Iterations)})
 	}
 	if opt.Dive && opt.Warm == nil {
+		diveSpan := opt.Span.Child("dive")
 		s.dive()
+		if inc := s.sh.incumbent(); !math.IsInf(inc, 0) {
+			diveSpan.SetNum("incumbent", inc)
+		}
+		diveSpan.End()
 	}
 	mode, why := s.planMode()
 	res.Mode = mode
+	if opt.Status != nil {
+		nw := 1
+		if mode == ModeSteal || mode == ModePortfolio {
+			nw = opt.Parallelism
+		}
+		opt.Status.attach(&liveSearch{sh: s.sh, mode: mode, workers: nw, start: start})
+	}
 	if opt.Parallelism > 1 && s.sh.tr != nil {
 		e := trace.Event{Kind: trace.KindPlan, Bound: res.BestBound, Worker: opt.Parallelism}
 		if why != "" {
@@ -558,13 +633,30 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		}
 		s.sh.tr.Emit(e)
 	}
+	searchSpan := opt.Span.Child("search")
+	searchSpan.SetStr("mode", mode.String())
+	s.span = searchSpan
 	switch mode {
 	case ModeSteal:
 		s.solveSteal(res, rootMeta)
 	case ModePortfolio:
 		s.solvePortfolio(rootMeta)
 	default:
-		s.branch(lp.StatusOptimal, 0, rootMeta)
+		s.sh.setPhase(0, wpSearch)
+		s.guard(func() { s.branch(lp.StatusOptimal, 0, rootMeta) })
+		s.sh.setPhase(0, wpDone)
+	}
+	searchSpan.SetNum("nodes", float64(s.sh.nodes.Load()))
+	searchSpan.SetNum("pivots", float64(lps.Iterations))
+	searchSpan.SetNum("steals", float64(res.Steals))
+	lps.Counters.AnnotateSpan(searchSpan)
+	searchSpan.End()
+	if msg, node, ok := s.sh.panicked(); ok {
+		// The black box was flushed at recovery time and stays with the
+		// caller (the service serves it on the failed job); the solve
+		// itself is not trustworthy past the crash, so it is an error,
+		// never a Result.
+		return nil, fmt.Errorf("milp: worker panic at node %d: %s", node, msg)
 	}
 
 	incObj, incX := s.sh.best()
@@ -598,13 +690,33 @@ func SolveContext(ctx context.Context, p *lp.Problem, opt Options) (*Result, err
 		res.FirstIncumbentNodes = s.sh.firstIncNode.Load()
 		res.FirstIncumbent = time.Duration(s.sh.firstIncNS.Load())
 	}
+	// A deadline or cancellation is an anomaly worth a post-mortem:
+	// freeze the black box so "what was the search doing when it was
+	// cut off" stays answerable after the job is gone.
+	if s.bb != nil && (s.reason == reasonTime || s.reason == reasonCtx) {
+		reason := "deadline"
+		if s.reason == reasonCtx {
+			reason = "cancelled"
+		}
+		s.bb.Record(trace.BBEvent{Kind: trace.BBDeadline, Node: int64(res.Nodes),
+			Incumbent: incObj, Bound: res.BestBound, Msg: "search stopped: " + reason})
+		s.bb.Flush(reason)
+	}
 	if res.Status == StatusOptimal || res.Status == StatusInfeasible {
 		res.TimeToProof = res.Runtime
 	}
 	if opt.Certify {
 		// certify against the (possibly cut-augmented) model the search
 		// ran on — s.prob, not the caller's p
+		certSpan := opt.Span.Child("certify")
 		s.attachCertificate(s.prob, res, rw)
+		if c := res.Certificate; c != nil {
+			certSpan.SetStr("kind", c.Kind)
+			if !c.Valid {
+				certSpan.SetStr("invalid", "true")
+			}
+		}
+		certSpan.End()
 	}
 	if s.rec.Enabled() {
 		s.rec.SetLPStat(lpStatOf(lps))
@@ -697,6 +809,22 @@ func (s *solver) branch(st lp.Status, depth int, meta nodeMeta) {
 		}
 		s.rec.Node(nr)
 		s.curNode = total
+	}
+	if s.bb != nil {
+		e := trace.BBEvent{Kind: trace.BBNode, Node: total, Worker: s.worker,
+			Depth: depth, Col: int(meta.col),
+			Bound: s.sh.displayBound(), Incumbent: s.sh.incumbent()}
+		if st == lp.StatusOptimal {
+			e.Obj = s.lps.Objective()
+		}
+		s.bb.Record(e)
+	}
+	if s.opt.PanicNode > 0 && total == s.opt.PanicNode {
+		panic(fmt.Sprintf("injected fault: PanicNode hit at node %d (worker %d, depth %d)",
+			total, s.worker, depth))
+	}
+	if s.opt.NodeDelay > 0 {
+		time.Sleep(s.opt.NodeDelay)
 	}
 	if r := s.limitHit(total); r != reasonNone {
 		s.reason = r

@@ -1,7 +1,9 @@
 package milp
 
 import (
+	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +49,22 @@ type shared struct {
 	mu     sync.Mutex // guards incObj/incX (the authoritative pair)
 	incObj float64
 	incX   []float64
+
+	// Observability extensions (all optional; nil/empty when off).
+	// bb is the per-solve black box — shared so incumbent installs and
+	// worker panics land in the same ring as the node stream. pool is
+	// published by solveSteal so live snapshots can read the open/steal
+	// counters lock-free. wphase holds one coarse phase slot per worker
+	// (index 0 = serial/coordinator), allocated only when a
+	// SearchStatus is attached. The panic fields keep the first
+	// recovered worker panic for the terminal error.
+	bb     *trace.BlackBox
+	pool   atomic.Pointer[stealPool]
+	wphase []atomic.Int32
+
+	panicMu   sync.Mutex
+	panicMsg  string
+	panicNode int64
 }
 
 func newShared(upper float64, tr *trace.Tracer, start time.Time) *shared {
@@ -88,6 +106,10 @@ func (sh *shared) install(obj float64, x []float64, worker int) bool {
 		if sh.firstInc.CompareAndSwap(false, true) {
 			sh.firstIncNode.Store(sh.nodes.Load())
 			sh.firstIncNS.Store(time.Since(sh.start).Nanoseconds())
+		}
+		if sh.bb != nil {
+			sh.bb.Record(trace.BBEvent{Kind: trace.BBIncumbent, Worker: worker,
+				Node: sh.nodes.Load(), Incumbent: obj, Bound: sh.displayBound()})
 		}
 		sh.emitProgress(trace.KindIncumbent, worker, 0)
 	}
@@ -155,6 +177,68 @@ func (sh *shared) emitProgress(kind trace.Kind, worker, sub int) {
 		}
 	}
 	sh.tr.Emit(e)
+}
+
+// setPhase publishes worker's coarse phase for live snapshots; no-op
+// unless a SearchStatus allocated the phase slots. Called at
+// subproblem granularity, never per node.
+func (sh *shared) setPhase(worker int, p int32) {
+	if sh.wphase == nil || worker < 0 || worker >= len(sh.wphase) {
+		return
+	}
+	sh.wphase[worker].Store(p)
+}
+
+// recordPanic captures a recovered worker panic: the first one wins
+// the terminal error, every one lands in the black box (with the
+// goroutine stack) and the trace, and the black box is flushed so the
+// events leading up to the crash survive. Safe from any worker.
+func (sh *shared) recordPanic(worker int, r any) {
+	msg := fmt.Sprint(r)
+	node := sh.nodes.Load()
+	sh.panicMu.Lock()
+	if sh.panicMsg == "" {
+		sh.panicMsg = msg
+		sh.panicNode = node
+	}
+	sh.panicMu.Unlock()
+	if sh.bb != nil {
+		sh.bb.Record(trace.BBEvent{Kind: trace.BBPanic, Worker: worker, Node: node,
+			Incumbent: sh.incumbent(), Bound: sh.displayBound(),
+			Msg: msg + "\n" + string(debug.Stack())})
+		sh.bb.Flush("worker-panic")
+	}
+	if sh.tr != nil {
+		sh.tr.Emit(trace.Event{Kind: trace.KindPanic, Worker: worker, Nodes: node, Msg: msg})
+	}
+}
+
+// panicked reports the first recovered panic, if any.
+func (sh *shared) panicked() (msg string, node int64, ok bool) {
+	sh.panicMu.Lock()
+	defer sh.panicMu.Unlock()
+	return sh.panicMsg, sh.panicNode, sh.panicMsg != ""
+}
+
+// guard runs fn, converting a panic into a recorded anomaly: the
+// shared state remembers it, the black box flushes, the search stops
+// everywhere and the pool (if any) aborts so no worker blocks on the
+// crashed one's unfinished subproblem. This wraps every worker
+// goroutine of the parallel modes and the serial dispatch, so a
+// programming error in a brancher, probe or the solver itself fails
+// the one solve instead of the process.
+func (w *solver) guard(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.sh.recordPanic(w.worker, r)
+			w.reason = reasonPanic
+			w.sh.requestStop(reasonPanic)
+			if w.pool != nil {
+				w.pool.abort()
+			}
+		}
+	}()
+	fn()
 }
 
 // gapOf is the relative optimality gap between an incumbent objective

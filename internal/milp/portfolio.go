@@ -16,6 +16,12 @@ import (
 // that back to reasonNone (the clean-finish state).
 const reasonDone stopReason = reasonCtx + 1
 
+// reasonPanic is raised when a worker goroutine panicked and was
+// recovered (see shared.recordPanic): the search stops everywhere and
+// SolveContext converts the solve into an error, so it never surfaces
+// as a Result status either.
+const reasonPanic stopReason = reasonDone + 1
+
 // flipBrancher inverts the child order of an inner brancher (0-branch
 // first where the inner rule says 1-first), preserving its Forker and
 // BoundObserver behavior — the cheapest way to diversify a portfolio
@@ -94,6 +100,8 @@ func (s *solver) solvePortfolio(rootMeta nodeMeta) {
 			worker:   w + 1,
 			rec:      s.rec,
 			prof:     s.prof,
+			bb:       s.bb,
+			span:     s.span,
 		}
 		ws[w].observer = observerOf(ws[w].brancher)
 	}
@@ -102,8 +110,15 @@ func (s *solver) solvePortfolio(rootMeta nodeMeta) {
 		wg.Add(1)
 		go func(w *solver) {
 			defer wg.Done()
+			wsp := w.span.Child("worker")
+			wsp.SetWorker(w.worker)
+			defer wsp.End()
 			pprof.Do(s.ctx, pprof.Labels("tp_worker", strconv.Itoa(w.worker)), func(context.Context) {
-				w.branch(lp.StatusOptimal, 0, rootMeta)
+				w.sh.setPhase(w.worker, wpSearch)
+				defer w.sh.setPhase(w.worker, wpDone)
+				w.guard(func() {
+					w.branch(lp.StatusOptimal, 0, rootMeta)
+				})
 				if w.reason == reasonNone {
 					// race decided: this seat's traversal is a complete
 					// proof; stop the losers
@@ -114,6 +129,8 @@ func (s *solver) solvePortfolio(rootMeta nodeMeta) {
 					w.sh.requestStop(w.reason)
 				}
 			})
+			wsp.SetNum("nodes", float64(w.local))
+			wsp.SetNum("pivots", float64(w.lps.Iterations))
 		}(w)
 	}
 	wg.Wait()

@@ -40,15 +40,17 @@ type stealPool struct {
 	cond     *sync.Cond
 	queues   [][]subproblem // per-worker deques
 	curBound []float64      // bound of each worker's in-flight subproblem (+Inf when idle)
-	open     int            // queued + in-flight subproblems
-	waiting  int            // workers blocked in next()
+	open     int  // queued + in-flight subproblems
+	waiting  int  // workers blocked in next()
 	stopped  bool
-	steals   int64
-	picks    int64
 
 	workers int
 	hungryA atomic.Bool  // mirror: waiting > 0
 	openA   atomic.Int64 // mirror: open
+	// steals/picks are atomics (though only written under mu) so the
+	// live-introspection snapshot reads them without taking the lock.
+	steals atomic.Int64
+	picks  atomic.Int64
 }
 
 func newStealPool(workers int) *stealPool {
@@ -104,7 +106,7 @@ func (pl *stealPool) next(w int) (sp subproblem, victim int, ok bool) {
 			q[len(q)-1] = subproblem{}
 			pl.queues[w] = q[:len(q)-1]
 			pl.curBound[w] = sp.bound
-			pl.picks++
+			pl.picks.Add(1)
 			return sp, -1, true
 		}
 		best, bestB := -1, math.Inf(1)
@@ -121,8 +123,8 @@ func (pl *stealPool) next(w int) (sp subproblem, victim int, ok bool) {
 			pl.queues[best][0] = subproblem{}
 			pl.queues[best] = pl.queues[best][1:]
 			pl.curBound[w] = sp.bound
-			pl.steals++
-			pl.picks++
+			pl.steals.Add(1)
+			pl.picks.Add(1)
 			return sp, best, true
 		}
 		if pl.open == 0 {
@@ -193,11 +195,7 @@ func (pl *stealPool) openBoundLocked() float64 {
 	return open
 }
 
-func (pl *stealPool) stealCount() int64 {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	return pl.steals
-}
+func (pl *stealPool) stealCount() int64 { return pl.steals.Load() }
 
 // solveSteal runs the work-stealing parallel search: the root
 // subproblem is seeded into the pool, Options.Parallelism workers —
@@ -212,6 +210,7 @@ func (s *solver) solveSteal(res *Result, rootMeta nodeMeta) {
 	workers := s.opt.Parallelism
 	pl := newStealPool(workers)
 	pl.seed(subproblem{bound: s.bound(s.lps.Objective())})
+	s.sh.pool.Store(pl) // publish for live snapshots
 	ws := make([]*solver, workers)
 	for w := range ws {
 		ws[w] = &solver{
@@ -227,6 +226,8 @@ func (s *solver) solveSteal(res *Result, rootMeta nodeMeta) {
 			pool:     pl,
 			rec:      s.rec,
 			prof:     s.prof,
+			bb:       s.bb,
+			span:     s.span,
 		}
 		ws[w].observer = observerOf(ws[w].brancher)
 	}
@@ -235,10 +236,15 @@ func (s *solver) solveSteal(res *Result, rootMeta nodeMeta) {
 		wg.Add(1)
 		go func(w *solver) {
 			defer wg.Done()
+			wsp := w.span.Child("worker") // nil-safe: nil when spans are off
+			wsp.SetWorker(w.worker)
+			defer wsp.End()
 			// label the goroutine so CPU profiles slice by worker
 			pprof.Do(s.ctx, pprof.Labels("tp_worker", strconv.Itoa(w.worker)), func(context.Context) {
-				w.stealLoop(rootMeta)
+				w.guard(func() { w.stealLoop(rootMeta) })
 			})
+			wsp.SetNum("nodes", float64(w.local))
+			wsp.SetNum("pivots", float64(w.lps.Iterations))
 		}(w)
 	}
 	wg.Wait()
@@ -266,14 +272,17 @@ func (w *solver) stealLoop(rootMeta nodeMeta) {
 	// cheaper than a fresh Clone and it discards any numerical drift
 	// from the previous subtree
 	snap := w.lps.Snapshot()
+	defer w.sh.setPhase(w.worker, wpDone)
 	for {
 		if w.sh.stopRequested() != reasonNone {
 			return
 		}
+		w.sh.setPhase(w.worker, wpWait)
 		sp, victim, ok := w.pool.next(w.wslot)
 		if !ok {
 			return
 		}
+		w.sh.setPhase(w.worker, wpSearch)
 		if victim >= 0 && w.sh.tr != nil {
 			w.sh.tr.Emit(trace.Event{Kind: trace.KindSteal, Worker: w.worker,
 				Nodes: w.sh.nodes.Load(), Bound: sp.bound,

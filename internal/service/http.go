@@ -25,9 +25,23 @@ package service
 //	GET    /v1/jobs/{id}/certificate
 //	                            exact-arithmetic certificate of a job
 //	                            submitted with options.certify (JSON)
+//	GET    /v1/jobs/{id}/spans  the job's span tree (finished spans,
+//	                            oldest first); pollable while it runs
+//	GET    /v1/jobs/{id}/blackbox
+//	                            black-box dump: the frozen anomaly
+//	                            capture when the box flushed, else the
+//	                            rolling live tail
+//	GET    /v1/debug/solves     live snapshot of every in-flight search
+//	                            (nodes, incumbent, bound, gap, steals,
+//	                            per-worker phases)
+//	GET    /v1/version          build identity of the running binary
 //	GET    /v1/metrics          Prometheus text exposition
 //	GET    /v1/stats            aggregate metrics snapshot (JSON)
 //	GET    /v1/healthz          liveness
+//
+// POST /v1/solve and POST /v1/jobs accept a W3C traceparent header; the
+// job's span tree adopts the caller's trace id and the response carries
+// a traceparent header naming the job's root span.
 //
 // Errors are a uniform envelope: {"error":{"code":..., "message":...}},
 // including the catch-all 404 for unknown paths.
@@ -68,6 +82,10 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
 	mux.HandleFunc("GET /v1/jobs/{id}/recording", a.recording)
 	mux.HandleFunc("GET /v1/jobs/{id}/certificate", a.certificate)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", a.spans)
+	mux.HandleFunc("GET /v1/jobs/{id}/blackbox", a.blackbox)
+	mux.HandleFunc("GET /v1/debug/solves", a.debugSolves)
+	mux.HandleFunc("GET /v1/version", a.version)
 
 	// the liveness exception: probes configured in infrastructure
 	// predate (and outlive) API versioning
@@ -140,6 +158,7 @@ func (a *api) solve(w http.ResponseWriter, r *http.Request) {
 		// cancelled cooperatively
 		code = statusClientClosedRequest
 	}
+	a.echoTraceContext(w, info.ID)
 	writeJSON(w, code, info)
 }
 
@@ -154,7 +173,20 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, _ := a.s.Job(id)
+	a.echoTraceContext(w, id)
 	writeJSON(w, http.StatusAccepted, info)
+}
+
+// echoTraceContext stamps the response with the traceparent value of
+// the job's root span, so the caller can stitch the job into its own
+// distributed trace (and fetch the span tree by trace id later).
+func (a *api) echoTraceContext(w http.ResponseWriter, id string) {
+	if id == "" {
+		return
+	}
+	if tp, err := a.s.TraceContext(id); err == nil && tp != "" {
+		w.Header().Set("Traceparent", tp)
+	}
 }
 
 func (a *api) job(w http.ResponseWriter, r *http.Request) {
@@ -341,6 +373,43 @@ func (a *api) certificate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, cert)
 }
 
+// spans serves the job's finished spans, oldest first. Pollable while
+// the job runs: spans appear as they end, the request root last.
+func (a *api) spans(w http.ResponseWriter, r *http.Request) {
+	recs, err := a.s.Spans(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"spans": recs})
+}
+
+// blackbox serves the job's black-box dump: frozen at the anomaly when
+// the box flushed (worker panic, deadline, certification failure,
+// watchdog stall), otherwise the rolling tail of recent solve events.
+func (a *api) blackbox(w http.ResponseWriter, r *http.Request) {
+	d, err := a.s.BlackBox(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// debugSolves serves a live snapshot of every in-flight search.
+func (a *api) debugSolves(w http.ResponseWriter, r *http.Request) {
+	solves := a.s.DebugSolves()
+	if solves == nil {
+		solves = []SolveDebug{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"solves": solves})
+}
+
+// version serves the build identity of the running binary.
+func (a *api) version(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Version())
+}
+
 // statusClientClosedRequest is nginx's non-standard 499 "client closed
 // request", the closest fit for a solve cancelled by a disconnecting
 // caller (the response is usually unread anyway).
@@ -353,6 +422,9 @@ func decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
 		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding request: %v", err))
 		return nil, false
 	}
+	// adopt the caller's distributed-trace identity, if any (the header
+	// is validated when the job's span collector is created)
+	req.TraceParent = r.Header.Get("Traceparent")
 	return &req, true
 }
 

@@ -37,6 +37,11 @@ type Request struct {
 	// Priority orders the queue: higher runs sooner; equal priorities
 	// run FIFO.
 	Priority int `json:"priority,omitempty"`
+	// TraceParent is the W3C traceparent header of the submitting HTTP
+	// request, when one was sent: the job's span tree adopts its trace
+	// id so tpserve spans join the caller's distributed trace. Set by
+	// the HTTP handlers, never decoded from the JSON body.
+	TraceParent string `json:"-"`
 }
 
 // DeviceSpec names a built-in device and/or overrides its parameters.
@@ -211,6 +216,11 @@ func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) 
 	opt.Trace = nil
 	opt.Record = nil
 	opt.Profile = nil
+	opt.Span = nil
+	opt.BlackBox = nil
+	opt.Status = nil
+	opt.PanicNode = 0
+	opt.NodeDelay = 0
 	opt.Tightened = opt.Tightened || !r.Options.Base
 	if r.Options.Fortet {
 		opt.Linearization = core.LinFortet
@@ -261,6 +271,11 @@ func canonicalKey(g *graph.Graph, alloc *library.Allocation, dev library.Device,
 	opt.Trace = nil
 	opt.Record = nil
 	opt.Profile = nil
+	opt.Span = nil
+	opt.BlackBox = nil
+	opt.Status = nil
+	opt.PanicNode = 0
+	opt.NodeDelay = 0
 	h := sha256.New()
 	fmt.Fprintf(h, "graph:%s\n", g.String())
 	fmt.Fprintf(h, "alloc:%s\n", alloc.String())

@@ -31,11 +31,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/exact"
+	"repro/internal/milp"
 	"repro/internal/trace"
 )
 
@@ -76,6 +78,26 @@ type Config struct {
 	// to requests that carry no parallelism of their own; 0 means 1
 	// (serial search). It does not affect the instance cache key.
 	DefaultParallelism int
+	// StallWindow arms the gap-stall watchdog: a fresh solve whose best
+	// bound and incumbent both fail to move for this long gets a stall
+	// trace event and a black-box flush. 0 disables the watchdog.
+	StallWindow time.Duration
+	// BlackBoxCap bounds each job's black-box ring (kept-last solve
+	// events, flushed on anomaly); 0 means trace.DefaultBlackBoxCap.
+	BlackBoxCap int
+	// SpanSink, when set, receives every finished span of every job —
+	// the hook cmd/tpserve uses to stream NDJSON spans to a file. Called
+	// from solver goroutines; must be safe for concurrent use.
+	SpanSink func(trace.SpanRec)
+	// OnBlackBoxFlush, when set, is called once per job whose black box
+	// flushes, with the frozen dump. Called from whatever goroutine
+	// detected the anomaly; must not block.
+	OnBlackBoxFlush func(jobID string, d trace.BBDump)
+	// InjectFault, when set, edits the options of every fresh solve just
+	// before dispatch. A test hook (panic injection, per-node delays) —
+	// deliberately not reachable from the wire, and applied after the
+	// cache key is computed so it never perturbs instance identity.
+	InjectFault func(*core.Options)
 }
 
 func (c *Config) defaults() {
@@ -152,6 +174,19 @@ type job struct {
 	// solve runs; closed by finalizeLocked after the terminal job
 	// event, which ends any attached SSE stream.
 	events *trace.Ring
+	// spans collects the job's span tree (request → queue/solve →
+	// build/root-lp/search/... → per-worker children), adopting the
+	// trace id of the submitter's traceparent header when one was sent.
+	// rootSpan covers the whole job; queueSpan its time in the queue.
+	spans    *trace.Spans
+	rootSpan *trace.Span
+	queueSpan *trace.Span
+	// bb is the job's always-on black-box ring; live mirrors the
+	// in-flight search for GET /v1/debug/solves. stalled records a
+	// watchdog firing.
+	bb      *trace.BlackBox
+	live    *milp.SearchStatus
+	stalled atomic.Bool
 }
 
 // flight is one in-progress solve shared by every job with the same
@@ -267,6 +302,20 @@ func (s *Service) enqueueLocked(ci *instance, orig *Request, ln *lineage) (strin
 		index:     -1,
 		events:    trace.NewRing(0),
 	}
+	j.spans = trace.NewSpans(orig.TraceParent)
+	if s.cfg.SpanSink != nil {
+		j.spans.SetSink(s.cfg.SpanSink)
+	}
+	j.rootSpan = j.spans.Root("request")
+	j.rootSpan.SetStr("job", j.id)
+	j.rootSpan.SetStr("graph", ci.inst.Graph.Name)
+	j.queueSpan = j.rootSpan.Child("queue")
+	j.bb = trace.NewBlackBox(s.cfg.BlackBoxCap)
+	if s.cfg.OnBlackBoxFlush != nil {
+		id, hook := j.id, s.cfg.OnBlackBoxFlush
+		j.bb.SetOnFlush(func(d trace.BBDump) { hook(id, d) })
+	}
+	j.live = milp.NewSearchStatus()
 	if ln != nil {
 		j.amendOf, j.gen, j.baseKey = ln.of, ln.gen, ln.baseKey
 		j.events = trace.NewRingAt(0, ln.ringAt)
@@ -456,6 +505,12 @@ func (s *Service) worker() {
 		j.started = time.Now()
 		s.running++
 		s.mu.Unlock()
+		// queue wait ends here: close the queue span and attribute the
+		// latency to the service-level queue-wait phase histogram
+		j.queueSpan.End()
+		if wait := j.started.Sub(j.submitted); wait > 0 {
+			s.prof.Observe(trace.PhaseQueueWait, wait.Nanoseconds())
+		}
 		s.run(j)
 		s.mu.Lock()
 		s.running--
@@ -544,7 +599,9 @@ func (s *Service) run(j *job) {
 	op := j.req.opt
 	op.Trace = trace.New(f.fanout)
 	op.Profile = s.prof // aggregate phase attribution for /v1/metrics
+	endSolve := s.beginSolve(j, &op)
 	res, dinfo, err := s.solveLabeled(ctx, j, op)
+	endSolve(res, dinfo, err)
 	close(watchStop)
 
 	s.mu.Lock()
@@ -602,10 +659,12 @@ func (s *Service) runRecorded(j *job) {
 	op.Trace = trace.New(j.events)
 	op.Record = rec
 	op.Profile = prof
+	endSolve := s.beginSolve(j, &op)
 	s.mu.Lock()
 	s.stats.cacheMisses++
 	s.mu.Unlock()
 	res, dinfo, err := s.solveLabeled(ctx, j, op)
+	endSolve(res, dinfo, err)
 	close(watchStop)
 
 	if j.amendOf != "" {
@@ -739,6 +798,11 @@ func (s *Service) finalizeLocked(j *job, res *core.Result, err error, status Job
 	}
 	j.events.Emit(e)
 	j.events.Close()
+	// close out the span tree (End is idempotent, so a queue span
+	// already ended at worker pickup is unaffected)
+	j.queueSpan.End()
+	j.rootSpan.SetStr("status", string(status))
+	j.rootSpan.End()
 	close(j.done)
 }
 
@@ -790,6 +854,11 @@ func (s *Service) infoLocked(j *job) JobInfo {
 			Path:       j.deltaPath,
 			Primed:     j.primed,
 		}
+	}
+	info.TraceID = j.spans.TraceID()
+	info.Stalled = j.stalled.Load()
+	if reason, ok := j.bb.Flushed(); ok {
+		info.BlackBox = reason
 	}
 	return info
 }

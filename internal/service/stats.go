@@ -129,6 +129,9 @@ func (st Stats) WritePrometheus(w io.Writer) {
 	counter := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
+	bi := Version()
+	fmt.Fprintf(w, "# HELP tpserve_build_info Build identity of the running binary (constant 1).\n# TYPE tpserve_build_info gauge\n")
+	fmt.Fprintf(w, "tpserve_build_info{version=%q,revision=%q,go=%q} 1\n", bi.Version, bi.Revision, bi.Go)
 	gauge("tpserve_workers", "Configured solver goroutines.", float64(st.Workers))
 	gauge("tpserve_jobs_queued", "Jobs waiting in the queue.", float64(st.Queued))
 	gauge("tpserve_jobs_running", "Jobs currently solving.", float64(st.Running))
@@ -152,9 +155,33 @@ func (st Stats) WritePrometheus(w io.Writer) {
 	gauge("tpserve_queue_wait_seconds_max", "Largest observed queue wait.", st.MaxQueueWaitMS/1000)
 	counter("tpserve_solve_seconds_total", "Cumulative solve wall time.", st.TotalSolveMS/1000)
 	gauge("tpserve_solve_seconds_max", "Largest observed solve wall time.", st.MaxSolveMS/1000)
+	for _, ph := range st.Phases {
+		if ph.Name == "queue-wait" {
+			// the queue-wait phase also gets a dedicated histogram under
+			// its own metric name, so dashboards need not know the
+			// phase-label taxonomy to graph submission latency
+			writeHist(w, "tpserve_queue_wait_seconds", "Submit-to-pickup queue wait per job.", ph)
+		}
+	}
 	if len(st.Phases) > 0 {
 		st.writePhaseHistograms(w)
 	}
+}
+
+// writeHist renders one trace.PhaseStat as an unlabeled Prometheus
+// histogram. The trace.Hist buckets are powers of two in nanoseconds;
+// bucket pow becomes a cumulative le bound of 2^pow ns in seconds.
+func writeHist(w io.Writer, name, help string, ph trace.PhaseStat) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for _, b := range ph.Buckets {
+		cum += b.N
+		le := float64(int64(1)<<uint(b.Pow)) / 1e9
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, ph.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(ph.SumNS)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, ph.Count)
 }
 
 // writePhaseHistograms renders the per-phase wall-time attribution as
@@ -200,6 +227,17 @@ type JobInfo struct {
 	// Amend is the amend lineage of a job created through
 	// POST /v1/jobs/{id}/amend; nil for directly submitted jobs.
 	Amend *AmendInfo `json:"amend,omitempty"`
+	// TraceID names the job's span tree; the trace id of the caller's
+	// traceparent header when the submission carried one.
+	TraceID string `json:"trace_id,omitempty"`
+	// Stalled reports that the gap-stall watchdog fired during the
+	// job's solve.
+	Stalled bool `json:"stalled,omitempty"`
+	// BlackBox is the flush reason when the job's black-box recorder
+	// froze on an anomaly (worker-panic, deadline, cancelled,
+	// certify-failed, stall); empty for a healthy job. The capture is
+	// at GET /v1/jobs/{id}/blackbox.
+	BlackBox string `json:"black_box,omitempty"`
 }
 
 // AmendInfo is the JSON view of a job's amend lineage: the base job,

@@ -1,0 +1,49 @@
+package service
+
+// Build identity for GET /v1/version and the tpserve_build_info metric,
+// read from the binary's embedded module and VCS metadata — no ldflags
+// stamping required (and none available: the repo builds with plain
+// `go build`).
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	// Module is the main module path; Version its module version
+	// ("(devel)" for a source build).
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// Revision and RevisionTime are the VCS commit and its timestamp
+	// when the binary was built inside a checkout; Modified reports
+	// uncommitted changes at build time.
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revision_time,omitempty"`
+	Modified     bool   `json:"modified,omitempty"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+// Version reads the build identity embedded by the Go toolchain.
+func Version() BuildInfo {
+	bi := BuildInfo{Go: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.time":
+			bi.RevisionTime = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}

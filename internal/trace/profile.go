@@ -36,6 +36,10 @@ package trace
 //	cut-gen       — root strengthening: cut separation, row appends and
 //	                the augmented-root re-optimization
 //	dive          — the root diving heuristic's LP dives
+//
+// Service-level phases are observed outside the solver entirely:
+//
+//	queue-wait    — submit-to-worker-pickup latency of a service job
 type Phase int
 
 // Phases, grouped by level. NumPhases bounds the enum for array sizing.
@@ -56,6 +60,7 @@ const (
 	PhaseFactorize
 	PhaseCutGen
 	PhaseDive
+	PhaseQueueWait
 	NumPhases
 )
 
@@ -75,6 +80,7 @@ var phaseNames = [NumPhases]string{
 	PhaseFactorize:    "factorize",
 	PhaseCutGen:       "cut-gen",
 	PhaseDive:         "dive",
+	PhaseQueueWait:    "queue-wait",
 }
 
 func (p Phase) String() string {

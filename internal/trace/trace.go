@@ -60,6 +60,16 @@ const (
 	// terminal verdict: Status carries the certificate kind
 	// (optimal/feasible/infeasible) and Msg its one-line summary.
 	KindCertificate Kind = "certificate"
+	// KindStall is emitted by the service's gap-stall watchdog when a
+	// running search's proved bound and incumbent have both been
+	// stationary for the configured window: Bound/Incumbent/Gap carry
+	// the frozen figures and Msg the window length.
+	KindStall Kind = "stall"
+	// KindPanic reports a recovered worker panic: Worker identifies the
+	// panicking worker, Nodes the global node count at the time, and
+	// Msg the panic value. The search stops and the job fails, but the
+	// black box retains the events leading up to the crash.
+	KindPanic Kind = "panic"
 )
 
 // Family is the per-constraint-family slice of a model event: all rows
