@@ -8,6 +8,9 @@
 //
 //	POST   /v1/solve            synchronous solve (client disconnect cancels)
 //	POST   /v1/jobs             asynchronous submit
+//	POST   /v1/batch            submit up to -max-batch solves at once
+//	                            (neighboring instances warm-chain)
+//	GET    /v1/batch/{id}       batch status
 //	GET    /v1/jobs/{id}        job status and result
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events live solver progress (Server-Sent Events)
@@ -63,6 +66,12 @@ func main() {
 		spans    = flag.String("spans", "", "append finished spans to this NDJSON file")
 		blackbox = flag.String("blackbox", "", "write black-box anomaly dumps into this directory")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		rate      = flag.Float64("rate", 0, "admitted submissions per second (token bucket; 0 disables)")
+		burst     = flag.Int("burst", 0, "admission token-bucket depth (0 = ceil(rate))")
+		maxBody   = flag.Int64("max-body", 0, "request-body byte cap (0 = 8 MiB default, -1 disables)")
+		maxSweeps = flag.Int("max-sweeps", 0, "concurrent synchronous sweeps (0 = default 4, -1 disables)")
+		maxBatch  = flag.Int("max-batch", 0, "items per POST /v1/batch (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -73,6 +82,10 @@ func main() {
 		DefaultTimeout:     *timeout,
 		DefaultParallelism: *parallel,
 		StallWindow:        *stall,
+		Admission:          service.Admission{Rate: *rate, Burst: *burst},
+		MaxBodyBytes:       *maxBody,
+		MaxSweeps:          *maxSweeps,
+		MaxBatch:           *maxBatch,
 	}
 	if *spans != "" {
 		f, err := os.OpenFile(*spans, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

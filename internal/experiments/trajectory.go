@@ -43,9 +43,38 @@ type SweepTrajectory struct {
 	Reuse   int     `json:"reuse"`
 }
 
+// LoadTrajectory distills one cmd/tpload run against a live tpserve:
+// client-observed throughput and latency percentiles, the shed and
+// warm accounting, and — in compare mode — the batch/warm-chain
+// speedup over cold individual submissions of the same workload.
+type LoadTrajectory struct {
+	Mode     string  `json:"mode"`
+	Requests int     `json:"requests"`
+	Workers  int     `json:"workers"`
+	RPS      float64 `json:"rps"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	// Shed counts 429 responses, Malformed responses that violated the
+	// envelope/header contract (must be 0 on a healthy server).
+	Shed      int `json:"shed"`
+	Malformed int `json:"malformed"`
+	// Warm/Reuse/Cold are the server's delta-path accounting deltas
+	// over the run.
+	Warm  int `json:"warm,omitempty"`
+	Reuse int `json:"reuse,omitempty"`
+	Cold  int `json:"cold,omitempty"`
+	// ColdMS/BatchMS and Speedup are compare-mode only: summed
+	// per-request solve time of the individual-cold phase vs the
+	// batch/warm-chain phase of the same neighboring-instance workload.
+	ColdMS  float64 `json:"cold_ms,omitempty"`
+	BatchMS float64 `json:"batch_ms,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
 // TrajectoryEntry is one dated point of the series: a serial-vs-
-// parallel suite distillation, a warm-vs-cold sweep distillation, or
-// both.
+// parallel suite distillation, a warm-vs-cold sweep distillation, a
+// tpload traffic distillation, or any combination.
 type TrajectoryEntry struct {
 	// Date is the run date, YYYY-MM-DD.
 	Date        string             `json:"date"`
@@ -55,6 +84,9 @@ type TrajectoryEntry struct {
 	// Sweep is the warm-vs-cold design-space sweep distillation
 	// appended by tptables -sweepbench.
 	Sweep *SweepTrajectory `json:"sweep,omitempty"`
+	// Load is the tpload traffic-harness distillation appended by
+	// tpload -trajectory.
+	Load *LoadTrajectory `json:"load,omitempty"`
 }
 
 // distillTrajectory reduces a full suite report to a trajectory entry.
@@ -102,6 +134,16 @@ func AppendSweepTrajectory(path, date string, rep SweepBenchReport) error {
 			Warm:    rep.Warm,
 			Reuse:   rep.Reuse,
 		},
+	})
+}
+
+// AppendLoadTrajectory appends a dated tpload distillation to the same
+// series file the bench distillations land in.
+func AppendLoadTrajectory(path, date string, gomaxprocs int, load LoadTrajectory) error {
+	return appendTrajectoryEntry(path, TrajectoryEntry{
+		Date:       date,
+		GOMAXPROCS: gomaxprocs,
+		Load:       &load,
 	})
 }
 

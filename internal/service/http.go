@@ -13,6 +13,14 @@ package service
 //	                            edit overlaid; bound-only edits (C, Ms,
 //	                            α) warm-start from the base job's build.
 //	                            409 while the base is queued/running.
+//	POST   /v1/batch            submit up to Config.MaxBatch solve
+//	                            requests at once; items differing only
+//	                            in device parameters are chained through
+//	                            the delta engine in sweep order, each
+//	                            successor warm-started from its
+//	                            predecessor's cached build
+//	GET    /v1/batch/{id}       batch status: per-item job records plus
+//	                            chain and completion accounting
 //	POST   /v1/sweep            synchronous (N, L, Ms, C, α) design-space
 //	                            scan; neighboring points share presolve
 //	                            and warm starts through the delta engine
@@ -44,7 +52,11 @@ package service
 // a traceparent header naming the job's root span.
 //
 // Errors are a uniform envelope: {"error":{"code":..., "message":...}},
-// including the catch-all 404 for unknown paths.
+// including the catch-all 404 for unknown paths. Load shedding is a
+// 429 with a Retry-After header and a typed code (rate_limited,
+// queue_full, sweep_limit); request bodies beyond Config.MaxBodyBytes
+// are a typed 413. 503 is reserved for a service that is shutting
+// down.
 //
 // The pre-versioning aliases (/solve, /jobs, /jobs/{id}, the JSON
 // /metrics) served through several deprecation cycles with
@@ -63,6 +75,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // NewHandler mounts the service's HTTP API on a fresh mux.
@@ -78,6 +91,8 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.job)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
 	mux.HandleFunc("POST /v1/jobs/{id}/amend", a.amend)
+	mux.HandleFunc("POST /v1/batch", a.batch)
+	mux.HandleFunc("GET /v1/batch/{id}", a.batchStatus)
 	mux.HandleFunc("POST /v1/sweep", a.sweep)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
 	mux.HandleFunc("GET /v1/jobs/{id}/recording", a.recording)
@@ -143,7 +158,7 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) solve(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
+	req, ok := a.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -163,7 +178,7 @@ func (a *api) solve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) submit(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
+	req, ok := a.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -220,8 +235,7 @@ func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
 // still queued or running.
 func (a *api) amend(w http.ResponseWriter, r *http.Request) {
 	var areq AmendRequest
-	if err := json.NewDecoder(r.Body).Decode(&areq); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding amendment: %v", err))
+	if !a.decodeJSON(w, r, "amendment", &areq) {
 		return
 	}
 	id, err := a.s.Amend(r.PathValue("id"), &areq)
@@ -244,15 +258,17 @@ func (a *api) amend(w http.ResponseWriter, r *http.Request) {
 // cancels it. Oversized grids and invalid points are 400s.
 func (a *api) sweep(w http.ResponseWriter, r *http.Request) {
 	var sreq SweepRequest
-	if err := json.NewDecoder(r.Body).Decode(&sreq); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding sweep: %v", err))
+	if !a.decodeJSON(w, r, "sweep", &sreq) {
 		return
 	}
 	res, err := a.s.Sweep(r.Context(), &sreq)
 	if err != nil {
+		var shed *ShedError
 		switch {
 		case r.Context().Err() != nil:
 			writeError(w, statusClientClosedRequest, "cancelled", err.Error())
+		case errors.As(err, &shed):
+			writeShed(w, shed)
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 		default:
@@ -261,6 +277,47 @@ func (a *api) sweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// batch submits up to Config.MaxBatch solve requests at once. The
+// batch is admitted atomically: an invalid item, an over-budget queue
+// or an empty token bucket rejects the whole call (400 or 429) with
+// nothing enqueued. The 202 response is the batch view — per-item job
+// records in submission order plus the number of warm chains formed.
+func (a *api) batch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	if !a.decodeJSON(w, r, "batch", &breq) {
+		return
+	}
+	tp := r.Header.Get("Traceparent")
+	for i, item := range breq.Items {
+		if item == nil {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("batch item %d: null", i))
+			return
+		}
+		item.TraceParent = tp
+	}
+	bi, err := a.s.SubmitBatch(breq.Items)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrEmptyBatch), errors.Is(err, ErrBatchTooLarge):
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		default:
+			writeSubmitError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, bi)
+}
+
+func (a *api) batchStatus(w http.ResponseWriter, r *http.Request) {
+	bi, err := a.s.Batch(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, bi)
 }
 
 // events streams the job's solve trace as Server-Sent Events: one
@@ -415,11 +472,9 @@ func (a *api) version(w http.ResponseWriter, r *http.Request) {
 // caller (the response is usually unread anyway).
 const statusClientClosedRequest = 499
 
-func decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
+func (a *api) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
 	var req Request
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding request: %v", err))
+	if !a.decodeJSON(w, r, "request", &req) {
 		return nil, false
 	}
 	// adopt the caller's distributed-trace identity, if any (the header
@@ -428,15 +483,60 @@ func decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
 	return &req, true
 }
 
+// decodeJSON decodes a request body under the configured size cap.
+// Oversized bodies get the typed 413 envelope; the cap also protects
+// the connection (MaxBytesReader closes it when the limit trips, so a
+// huge upload is not drained for keep-alive).
+func (a *api) decodeJSON(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	if limit := a.s.cfg.MaxBodyBytes; limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("decoding %s: body exceeds the %d-byte limit", what, mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding %s: %v", what, err))
+		return false
+	}
+	return true
+}
+
+// writeSubmitError maps submission failures: load shedding is a 429
+// with a Retry-After header (the roadmap's backpressure contract — a
+// full queue is a transient client-pacing problem, not a server
+// fault), 503 is reserved for a closed service, and everything else
+// is a 400 from request validation.
 func writeSubmitError(w http.ResponseWriter, err error) {
+	var shed *ShedError
 	switch {
+	case errors.As(err, &shed):
+		writeShed(w, shed)
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, "queue_full", err.Error())
+		// a bare sentinel from a Go caller's error chain; the service
+		// itself always sheds with a *ShedError
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, ShedQueueFull, err.Error())
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 	}
+}
+
+// writeShed renders a load-shed rejection: 429, the shed code as the
+// envelope code, and Retry-After in whole seconds (rounded up — the
+// header has one-second resolution and retrying early defeats the
+// point).
+func writeShed(w http.ResponseWriter, shed *ShedError) {
+	secs := int64((shed.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, http.StatusTooManyRequests, shed.Code, shed.Error())
 }
 
 // errorEnvelope is the uniform error body of every endpoint.

@@ -181,6 +181,12 @@ type instance struct {
 	opt    core.Options
 	key    string
 	record bool
+	// chain is the structural signature used by batch warm-chaining:
+	// the canonical key with the device zeroed out. Batch items sharing
+	// a chain signature differ only in device parameters (capacity,
+	// alpha, scratch memory) — exactly the bound edits the delta engine
+	// can re-solve warm from a neighbor's cached build.
+	chain string
 }
 
 // compile parses and validates the request. The default timeout fills
@@ -244,6 +250,7 @@ func (r *Request) compile(defaultTimeout time.Duration, defaultParallelism int) 
 		return nil, err
 	}
 	ci.key = canonicalKey(g, alloc, dev, opt)
+	ci.chain = canonicalKey(g, alloc, library.Device{}, opt)
 	return ci, nil
 }
 

@@ -98,6 +98,20 @@ type Config struct {
 	// deliberately not reachable from the wire, and applied after the
 	// cache key is computed so it never perturbs instance identity.
 	InjectFault func(*core.Options)
+	// Admission tunes load shedding: token-bucket rate admission and the
+	// per-priority queue-budget ladder. The zero value disables rate
+	// admission and applies the default budgets; see Admission.
+	Admission Admission
+	// MaxSweeps caps concurrently running synchronous sweeps (each runs
+	// in its caller's goroutine and would otherwise pin an HTTP worker
+	// for the whole grid); 0 means 4, negative disables the cap.
+	MaxSweeps int
+	// MaxBatch caps the number of requests one POST /v1/batch may carry;
+	// 0 means 64.
+	MaxBatch int
+	// MaxBodyBytes caps every decoded HTTP request body; 0 means 8 MiB,
+	// negative disables the cap. Oversized bodies get a typed 413.
+	MaxBodyBytes int64
 }
 
 func (c *Config) defaults() {
@@ -116,6 +130,16 @@ func (c *Config) defaults() {
 	if c.History <= 0 {
 		c.History = 4096
 	}
+	if c.MaxSweeps == 0 {
+		c.MaxSweeps = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	c.Admission.defaults()
 }
 
 // JobStatus is the lifecycle state of a job.
@@ -155,6 +179,14 @@ type job struct {
 	deltaClass string
 	deltaPath  string
 	primed     bool
+	// batch chaining: batchID names the batch the job arrived in, nextID
+	// the chain successor to release when this job finalizes, and
+	// deferred marks a chained job holding queue capacity but not yet in
+	// the heap (it enters when its predecessor — whose build is its warm
+	// anchor via baseKey — reaches a terminal state).
+	batchID  string
+	nextID   string
+	deferred bool
 
 	status             JobStatus
 	submitted, started time.Time
@@ -220,6 +252,17 @@ type Service struct {
 	closed    bool
 	doneOrder []string // finished job IDs, oldest first, for eviction
 	stats     counters
+	// admission state: the submission token bucket, the count of
+	// deferred batch-chain jobs (they hold queue capacity while waiting
+	// on a predecessor), and the in-flight synchronous sweep gauge.
+	bucket        tokenBucket
+	deferred      int
+	sweepsRunning int
+	// batches records recent batch submissions for GET /v1/batch/{id};
+	// batchOrder drives FIFO eviction like doneOrder does for jobs.
+	batches    map[string]*batchRecord
+	batchOrder []string
+	batchSeq   uint64
 
 	// prof aggregates per-phase solver wall time across every fresh
 	// solve for GET /v1/metrics. Its buckets are atomic, so it is
@@ -243,9 +286,13 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		jobs:    make(map[string]*job),
 		flights: make(map[string]*flight),
+		batches: make(map[string]*batchRecord),
 		cache:   newLRUCache(cfg.CacheSize),
 		prof:    trace.NewProfile(),
 		delta:   delta.NewEngine(delta.Config{}),
+	}
+	if cfg.Admission.Rate > 0 {
+		s.bucket = tokenBucket{rate: cfg.Admission.Rate, burst: float64(cfg.Admission.Burst)}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -266,7 +313,7 @@ func (s *Service) Submit(req *Request) (string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enqueueLocked(ci, req, nil)
+	return s.enqueueLocked(ci, req, nil, nil)
 }
 
 // lineage carries amend parentage into enqueueLocked: the base job,
@@ -280,13 +327,23 @@ type lineage struct {
 	ringAt  uint64
 }
 
+// chainLink carries batch parentage into enqueueLocked: the batch the
+// job belongs to, the canonical key of the chain predecessor whose
+// cached build warm-starts this solve, and whether the job must wait
+// (deferred, out of the heap) until that predecessor finalizes.
+type chainLink struct {
+	batchID string
+	baseKey string
+	defer_  bool
+}
+
 // enqueueLocked creates and enqueues a job. Callers hold s.mu.
-func (s *Service) enqueueLocked(ci *instance, orig *Request, ln *lineage) (string, error) {
+func (s *Service) enqueueLocked(ci *instance, orig *Request, ln *lineage, cl *chainLink) (string, error) {
 	if s.closed {
 		return "", ErrClosed
 	}
-	if s.queue.Len() >= s.cfg.QueueLimit {
-		return "", ErrQueueFull
+	if err := s.admitLocked(orig.Priority); err != nil {
+		return "", err
 	}
 	s.seq++
 	j := &job{
@@ -321,10 +378,25 @@ func (s *Service) enqueueLocked(ci *instance, orig *Request, ln *lineage) (strin
 		j.events = trace.NewRingAt(0, ln.ringAt)
 		s.stats.amends++
 	}
+	if cl != nil {
+		j.batchID = cl.batchID
+		if cl.baseKey != "" {
+			j.baseKey = cl.baseKey
+		}
+		j.deferred = cl.defer_
+	}
 	s.jobs[j.id] = j
-	heap.Push(&s.queue, j)
+	if j.deferred {
+		// chained batch job: holds queue capacity (counted by admission)
+		// but enters the heap only when its predecessor finalizes, so the
+		// delta engine finds the predecessor's build cached and re-solves
+		// warm instead of cold.
+		s.deferred++
+	} else {
+		heap.Push(&s.queue, j)
+		s.cond.Signal()
+	}
 	s.stats.submitted++
-	s.cond.Signal()
 	return j.id, nil
 }
 
@@ -361,7 +433,7 @@ func (s *Service) Amend(baseID string, a *AmendRequest) (string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enqueueLocked(ci, merged, ln)
+	return s.enqueueLocked(ci, merged, ln, nil)
 }
 
 // Job returns a snapshot of the job's state.
@@ -388,7 +460,11 @@ func (s *Service) Cancel(id string) bool {
 	}
 	switch j.status {
 	case StatusQueued:
-		heap.Remove(&s.queue, j.index)
+		if j.index >= 0 {
+			heap.Remove(&s.queue, j.index)
+		}
+		// (a deferred chain job has index -1 and is not in the heap; its
+		// bookkeeping is released by finalizeLocked)
 		s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
 		s.mu.Unlock()
 		return true
@@ -440,6 +516,8 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats.snapshot(s.cfg.Workers, s.queue.Len(), s.running, len(s.flights), s.cache.len())
+	st.Deferred = s.deferred
+	st.SweepsRunning = s.sweepsRunning
 	st.Phases = s.prof.Snapshot()
 	st.Delta = s.delta.Metrics()
 	return st
@@ -468,18 +546,34 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 }
 
-// cancelAll cancels every queued and running job.
+// cancelAll cancels every queued, deferred and running job. Finalizing
+// a chained job releases its successor into the heap, so the drain
+// loops until a full pass makes no progress — successors released by a
+// cancelled predecessor are cancelled too instead of starting to solve
+// during shutdown.
 func (s *Service) cancelAll() {
 	s.mu.Lock()
-	for s.queue.Len() > 0 {
-		j := heap.Pop(&s.queue).(*job)
-		s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
-	}
 	var running []*job
-	for _, j := range s.jobs {
-		if j.status == StatusRunning {
+	for {
+		acted := false
+		for s.queue.Len() > 0 {
+			j := heap.Pop(&s.queue).(*job)
 			s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
-			running = append(running, j)
+			acted = true
+		}
+		for _, j := range s.jobs {
+			switch {
+			case j.status == StatusRunning:
+				s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+				running = append(running, j)
+				acted = true
+			case j.status == StatusQueued && j.deferred:
+				s.finalizeLocked(j, nil, context.Canceled, StatusCancelled)
+				acted = true
+			}
+		}
+		if !acted {
+			break
 		}
 	}
 	s.mu.Unlock()
@@ -751,6 +845,24 @@ func (s *Service) finalizeLocked(j *job, res *core.Result, err error, status Job
 	j.result = res
 	j.err = err
 	j.finished = time.Now()
+	if j.deferred {
+		// cancelled before its chain predecessor finished: release the
+		// queue capacity it was holding
+		j.deferred = false
+		s.deferred--
+	}
+	if j.nextID != "" {
+		// release the chain successor: its warm anchor (this job's build)
+		// is as cached as it will ever be. Released even when this job
+		// failed or was cancelled — the successor then simply misses the
+		// delta cache and solves cold.
+		if nj, ok := s.jobs[j.nextID]; ok && nj.deferred && nj.status == StatusQueued {
+			nj.deferred = false
+			s.deferred--
+			heap.Push(&s.queue, nj)
+			s.cond.Signal()
+		}
+	}
 	switch status {
 	case StatusDone:
 		s.stats.completed++
@@ -773,9 +885,15 @@ func (s *Service) finalizeLocked(j *job, res *core.Result, err error, status Job
 		s.stats.maxQueueWait = wait
 	}
 	s.doneOrder = append(s.doneOrder, j.id)
-	for len(s.doneOrder) > s.cfg.History {
-		delete(s.jobs, s.doneOrder[0])
-		s.doneOrder = s.doneOrder[1:]
+	if evict := len(s.doneOrder) - s.cfg.History; evict > 0 {
+		// copy-down instead of re-slicing ([1:] would keep the evicted
+		// IDs reachable through the backing array forever)
+		for _, id := range s.doneOrder[:evict] {
+			delete(s.jobs, id)
+		}
+		n := copy(s.doneOrder, s.doneOrder[evict:])
+		clear(s.doneOrder[n:])
+		s.doneOrder = s.doneOrder[:n]
 	}
 	// terminal job event, then close the ring so attached SSE streams
 	// drain it and end. Emitted directly (not through the flight's
@@ -853,6 +971,16 @@ func (s *Service) infoLocked(j *job) JobInfo {
 			Class:      j.deltaClass,
 			Path:       j.deltaPath,
 			Primed:     j.primed,
+		}
+	}
+	if j.batchID != "" {
+		info.Batch = j.batchID
+		if j.amendOf == "" && j.deltaPath != "" {
+			info.Delta = &DeltaDispatch{
+				Class:  j.deltaClass,
+				Path:   j.deltaPath,
+				Primed: j.primed,
+			}
 		}
 	}
 	info.TraceID = j.spans.TraceID()

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -290,8 +291,16 @@ func TestQueueLimitAndClose(t *testing.T) {
 		}
 		ids = append(ids, id)
 	}
-	if _, err := s.Submit(heavyRequest(299)); err != ErrQueueFull {
+	if _, err := s.Submit(heavyRequest(299)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
+	} else {
+		var shed *ShedError
+		if !errors.As(err, &shed) {
+			t.Fatalf("queue-full rejection is %T, want *ShedError", err)
+		}
+		if shed.Code != ShedQueueFull || shed.RetryAfter <= 0 {
+			t.Fatalf("shed = {code:%q retry:%v}, want queue_full with positive retry", shed.Code, shed.RetryAfter)
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)

@@ -26,6 +26,11 @@ type counters struct {
 	amends      uint64
 	sweeps      uint64
 	sweepPoints uint64
+	batches     uint64
+
+	shedQueue uint64
+	shedRate  uint64
+	shedSweep uint64
 
 	queueWait    time.Duration
 	maxQueueWait time.Duration
@@ -62,10 +67,24 @@ type Stats struct {
 
 	// Amends counts jobs created via POST /v1/jobs/{id}/amend; Sweeps
 	// and SweepPoints count POST /v1/sweep calls and the grid points
-	// they solved.
+	// they solved; Batches counts POST /v1/batch calls.
 	Amends      uint64 `json:"amends"`
 	Sweeps      uint64 `json:"sweeps"`
 	SweepPoints uint64 `json:"sweep_points"`
+	Batches     uint64 `json:"batches"`
+
+	// Deferred is a gauge of batch-chain jobs holding queue capacity
+	// while waiting for their warm-start predecessor; SweepsRunning a
+	// gauge of synchronous sweeps currently pinned to HTTP workers.
+	Deferred      int `json:"deferred"`
+	SweepsRunning int `json:"sweeps_running"`
+
+	// Shed* count rejected submissions by admission mechanism: queue
+	// budget exhausted, token bucket empty, sweep cap reached. Every
+	// shed became an HTTP 429 with a Retry-After header.
+	ShedQueueFull   uint64 `json:"shed_queue_full"`
+	ShedRateLimited uint64 `json:"shed_rate_limited"`
+	ShedSweepLimit  uint64 `json:"shed_sweep_limit"`
 
 	// Delta is the delta engine's dispatch accounting: how many fresh
 	// solves ran, how many were warm-started from a cached base, and
@@ -109,6 +128,10 @@ func (c *counters) snapshot(workers, queued, running, inFlight, cached int) Stat
 		Amends:            c.amends,
 		Sweeps:            c.sweeps,
 		SweepPoints:       c.sweepPoints,
+		Batches:           c.batches,
+		ShedQueueFull:     c.shedQueue,
+		ShedRateLimited:   c.shedRate,
+		ShedSweepLimit:    c.shedSweep,
 		TotalNodes:        c.nodes,
 		TotalLPIterations: c.pivots,
 		TotalQueueWaitMS:  durMS(c.queueWait),
@@ -146,6 +169,12 @@ func (st Stats) WritePrometheus(w io.Writer) {
 	counter("tpserve_amends_total", "Jobs created by amending a finished job.", float64(st.Amends))
 	counter("tpserve_sweeps_total", "Design-space sweep requests.", float64(st.Sweeps))
 	counter("tpserve_sweep_points_total", "Grid points solved by sweeps.", float64(st.SweepPoints))
+	counter("tpserve_batches_total", "Batch submissions.", float64(st.Batches))
+	gauge("tpserve_jobs_deferred", "Batch-chain jobs holding queue capacity awaiting a warm-start predecessor.", float64(st.Deferred))
+	gauge("tpserve_sweeps_running", "Synchronous sweeps currently executing.", float64(st.SweepsRunning))
+	counter("tpserve_shed_queue_full_total", "Submissions shed by the per-priority queue budget.", float64(st.ShedQueueFull))
+	counter("tpserve_shed_rate_limited_total", "Submissions shed by the admission token bucket.", float64(st.ShedRateLimited))
+	counter("tpserve_shed_sweep_limit_total", "Sweeps shed by the in-flight sweep cap.", float64(st.ShedSweepLimit))
 	counter("tpserve_delta_warm_total", "Solves warm-started from a cached root basis.", float64(st.Delta.Warm))
 	counter("tpserve_delta_reuse_total", "Solves answered by monotone conclusion reuse.", float64(st.Delta.Reuse))
 	counter("tpserve_delta_structural_total", "Amends classified structural (cold re-solve).", float64(st.Delta.Structural))
@@ -227,6 +256,13 @@ type JobInfo struct {
 	// Amend is the amend lineage of a job created through
 	// POST /v1/jobs/{id}/amend; nil for directly submitted jobs.
 	Amend *AmendInfo `json:"amend,omitempty"`
+	// Batch is the batch ID for jobs submitted through POST /v1/batch.
+	Batch string `json:"batch,omitempty"`
+	// Delta is the delta engine's dispatch for batch warm-chain jobs:
+	// which path (cold/warm/reuse) the solve took against its chain
+	// predecessor's cached build. Amended jobs report the same through
+	// Amend instead.
+	Delta *DeltaDispatch `json:"delta,omitempty"`
 	// TraceID names the job's span tree; the trace id of the caller's
 	// traceparent header when the submission carried one.
 	TraceID string `json:"trace_id,omitempty"`
@@ -251,6 +287,16 @@ type AmendInfo struct {
 	Class      string `json:"class,omitempty"`
 	Path       string `json:"path,omitempty"`
 	Primed     bool   `json:"primed,omitempty"`
+}
+
+// DeltaDispatch is the JSON view of a delta-engine dispatch for a
+// batch warm-chain job: the edit classification against the chain
+// predecessor's build, the path taken (cold/warm/reuse) and whether
+// the predecessor's solution re-verified and primed the search.
+type DeltaDispatch struct {
+	Class  string `json:"class,omitempty"`
+	Path   string `json:"path,omitempty"`
+	Primed bool   `json:"primed,omitempty"`
 }
 
 // Outcome is the JSON view of a core.Result.

@@ -105,8 +105,30 @@ func (s *Service) Sweep(ctx context.Context, req *SweepRequest) (*SweepResult, e
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	// Sweeps run synchronously in the caller's goroutine — over HTTP
+	// that is an HTTP worker — so without a cap, MaxSweeps+1 concurrent
+	// sweep requests could pin every server thread. Shed the excess
+	// with a typed 429 instead.
+	if limit := s.cfg.MaxSweeps; limit > 0 && s.sweepsRunning >= limit {
+		s.stats.shedSweep++
+		retry := s.queueRetryLocked()
+		running := s.sweepsRunning
+		s.mu.Unlock()
+		return nil, &ShedError{
+			Code:       ShedSweepLimit,
+			RetryAfter: retry,
+			msg:        fmt.Sprintf("service: %d sweeps already running (limit %d)", running, limit),
+			sentinel:   ErrSweepLimit,
+		}
+	}
+	s.sweepsRunning++
 	s.stats.sweeps++
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.sweepsRunning--
+		s.mu.Unlock()
+	}()
 
 	start := time.Now()
 	out := &SweepResult{Points: make([]SweepPoint, 0, total)}
