@@ -183,20 +183,11 @@ func (s *Service) admitLocked(priority int) error {
 }
 
 // admitNLocked admits n submissions as a unit (all or none): the whole
-// batch is shed with one 429 rather than partially enqueued. Callers
-// hold s.mu.
+// batch is shed with one 429 rather than partially enqueued. The queue
+// budget is checked before the token bucket so a queue_full rejection
+// has no side effect — a shed submission must not burn tokens and
+// penalize the next, unrelated one. Callers hold s.mu.
 func (s *Service) admitNLocked(priority, n int) error {
-	if s.bucket.rate > 0 {
-		if ok, wait := s.bucket.takeN(time.Now(), float64(n)); !ok {
-			s.stats.shedRate++
-			return &ShedError{
-				Code:       ShedRateLimited,
-				RetryAfter: clampRetry(wait),
-				msg:        fmt.Sprintf("service: rate limited (%.4g submissions/s admitted)", s.bucket.rate),
-				sentinel:   ErrRateLimited,
-			}
-		}
-	}
 	budget := s.queueBudgetLocked(priority)
 	if occupied := s.queue.Len() + s.deferred; occupied+n > budget {
 		s.stats.shedQueue++
@@ -206,6 +197,17 @@ func (s *Service) admitNLocked(priority, n int) error {
 			msg: fmt.Sprintf("service: queue full (%d queued + %d submitted over budget %d at priority %d)",
 				occupied, n, budget, priority),
 			sentinel: ErrQueueFull,
+		}
+	}
+	if s.bucket.rate > 0 {
+		if ok, wait := s.bucket.takeN(time.Now(), float64(n)); !ok {
+			s.stats.shedRate++
+			return &ShedError{
+				Code:       ShedRateLimited,
+				RetryAfter: clampRetry(wait),
+				msg:        fmt.Sprintf("service: rate limited (%.4g submissions/s admitted)", s.bucket.rate),
+				sentinel:   ErrRateLimited,
+			}
 		}
 	}
 	return nil

@@ -235,6 +235,57 @@ func TestSweepLimitShed(t *testing.T) {
 	}
 }
 
+// TestQueueFullPreservesTokens pins the admission order: the queue
+// budget is checked before the token bucket, so a queue_full rejection
+// burns no tokens. (The old order consumed a token first, turning
+// repeat rejections into spurious rate_limited errors and penalizing
+// the next unrelated submission for work that was never admitted.)
+func TestQueueFullPreservesTokens(t *testing.T) {
+	s := New(Config{Workers: 1, QueueLimit: 1, Admission: Admission{Rate: 0.001, Burst: 3}})
+
+	blocker, err := s.Submit(heavyRequest(840)) // token 3→2; pins the worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s.Stats().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	queued := heavyRequest(841)
+	queued.Priority = 1 // full queue budget of 1
+	if _, err := s.Submit(queued); err != nil {
+		t.Fatal(err) // token 2→1; fills the queue
+	}
+
+	// both rejections must be queue_full and cost nothing: with the old
+	// token-first order the first shed burned the last token and the
+	// second came back rate_limited
+	for i := 0; i < 2; i++ {
+		over := heavyRequest(842)
+		over.Priority = 1
+		_, err := s.Submit(over)
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("over-budget submit %d: %v, want ErrQueueFull", i, err)
+		}
+	}
+	if st := s.Stats(); st.ShedQueueFull != 2 || st.ShedRateLimited != 0 {
+		t.Fatalf("stats shed_queue_full=%d shed_rate_limited=%d, want 2/0", st.ShedQueueFull, st.ShedRateLimited)
+	}
+
+	// drain the queue and spend the preserved token
+	s.Cancel(blocker)
+	waitFinished(t, s, blocker, 10*time.Second)
+	for s.Stats().Queued != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(heavyRequest(843)); err != nil {
+		t.Fatalf("submit after queue drain: %v (queue_full sheds burned the token)", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = s.Close(ctx) // cancels the running heavies
+}
+
 // TestBodyTooLarge pins the request-size cap: every decoding endpoint
 // rejects an oversized body with the typed 413 envelope, and normal
 // bodies still pass.

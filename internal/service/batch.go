@@ -17,7 +17,9 @@ import (
 	"time"
 )
 
-// ErrBatchTooLarge reports a batch exceeding Config.MaxBatch items.
+// ErrBatchTooLarge reports a batch that can never be accepted whole:
+// more items than Config.MaxBatch, or (with rate admission enabled)
+// more items than the token bucket's Burst depth. Non-retryable.
 var ErrBatchTooLarge = fmt.Errorf("service: batch too large")
 
 // ErrEmptyBatch reports a batch with no items.
@@ -70,6 +72,15 @@ func (s *Service) SubmitBatch(reqs []*Request) (BatchInfo, error) {
 	}
 	if len(reqs) > s.cfg.MaxBatch {
 		return BatchInfo{}, fmt.Errorf("%w: %d items (max %d)", ErrBatchTooLarge, len(reqs), s.cfg.MaxBatch)
+	}
+	// A batch larger than the token bucket's depth can never be
+	// admitted, no matter how long the client waits; rejecting it as
+	// retryable rate_limited would have the client retry forever. Fail
+	// it up front as non-retryable (HTTP 400), like an over-MaxBatch
+	// batch.
+	if s.cfg.Admission.Rate > 0 && len(reqs) > s.cfg.Admission.Burst {
+		return BatchInfo{}, fmt.Errorf("%w: %d items exceed the admission burst %d and can never be admitted",
+			ErrBatchTooLarge, len(reqs), s.cfg.Admission.Burst)
 	}
 	cis := make([]*instance, len(reqs))
 	for i, r := range reqs {
@@ -140,7 +151,10 @@ func (s *Service) SubmitBatch(reqs []*Request) (BatchInfo, error) {
 	chains := 0
 	for _, idx := range order {
 		ci := cis[idx]
-		cl := &chainLink{batchID: batchID}
+		// preadmitted: admitNLocked charged the whole batch above (n
+		// tokens, n queue slots) with s.mu held throughout, so
+		// enqueueLocked must not re-admit — and cannot shed — here.
+		cl := &chainLink{batchID: batchID, preadmitted: true}
 		chained := !ci.record && prevJob != nil && prevChain == ci.chain
 		if chained {
 			cl.baseKey = prevJob.req.key
@@ -148,8 +162,6 @@ func (s *Service) SubmitBatch(reqs []*Request) (BatchInfo, error) {
 		} else {
 			chains++
 		}
-		// enqueueLocked cannot shed here: admitNLocked reserved the
-		// whole batch above and s.mu is held throughout
 		id, err := s.enqueueLocked(ci, reqs[idx], nil, cl)
 		if err != nil {
 			return BatchInfo{}, fmt.Errorf("batch item %d: %w", idx, err)

@@ -186,6 +186,73 @@ func TestBatchAtomicAdmission(t *testing.T) {
 	_ = s.Close(ctx)
 }
 
+// TestBatchRateAdmission pins rate admission over SubmitBatch: a batch
+// of n items costs exactly n tokens (enqueueLocked must not re-admit
+// items the batch already admitted atomically — double charging would
+// empty the bucket mid-loop and orphan the items enqueued before the
+// failure), an empty bucket sheds the whole batch with nothing
+// enqueued, and a batch deeper than the bucket is rejected
+// non-retryably instead of with a 429 the client would retry forever.
+func TestBatchRateAdmission(t *testing.T) {
+	s := New(Config{Workers: 2, Admission: Admission{Rate: 0.001, Burst: 3}})
+	defer closeBounded(t, s)
+
+	mk := func(c int) *Request {
+		r := fastRequest()
+		r.Device.CapacityFG = c
+		return r
+	}
+
+	// deeper than Burst: permanently impossible at any wait, so the
+	// rejection must be the non-retryable batch-too-large error, never
+	// a retryable shed
+	_, err := s.SubmitBatch([]*Request{mk(200), mk(210), mk(220), mk(230)})
+	if !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("over-burst batch: %v, want ErrBatchTooLarge", err)
+	}
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		t.Fatalf("over-burst batch shed retryably (%+v); it can never be admitted", shed)
+	}
+
+	// exactly Burst items: the batch costs n tokens, not 2n, so it
+	// fits the full bucket and every item enqueues
+	bi, err := s.SubmitBatch([]*Request{mk(200), mk(210), mk(220)})
+	if err != nil {
+		t.Fatalf("batch within burst: %v (double admission would shed mid-batch)", err)
+	}
+	if len(bi.Jobs) != 3 {
+		t.Fatalf("batch enqueued %d jobs, want 3", len(bi.Jobs))
+	}
+	if st := s.Stats(); st.Submitted != 3 {
+		t.Fatalf("stats submitted = %d, want 3", st.Submitted)
+	}
+
+	// the bucket is now empty: a single submit sheds with rate_limited...
+	if _, err := s.Submit(fastRequest()); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("submit on empty bucket: %v, want ErrRateLimited", err)
+	}
+	// ...and a further batch sheds whole — all or none, nothing enqueued
+	_, err = s.SubmitBatch([]*Request{mk(240), mk(250)})
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("batch on empty bucket: %v, want ErrRateLimited", err)
+	}
+	if !errors.As(err, &shed) || shed.Code != ShedRateLimited || shed.RetryAfter <= 0 {
+		t.Fatalf("batch rate shed = %v", err)
+	}
+	if st := s.Stats(); st.Submitted != 3 || st.Batches != 1 {
+		t.Fatalf("shed batch left residue: submitted=%d batches=%d", st.Submitted, st.Batches)
+	}
+
+	// the admitted batch is intact — every job finishes
+	final := waitBatchDone(t, s, bi.ID, 60*time.Second)
+	for i, ji := range final.Jobs {
+		if ji.Status != StatusDone {
+			t.Fatalf("batch item %d (%s): %s (%s)", i, ji.ID, ji.Status, ji.Error)
+		}
+	}
+}
+
 // TestV1BatchHTTP drives POST /v1/batch and GET /v1/batch/{id} end to
 // end: 202 with the batch view, per-item job records reachable under
 // /v1/jobs, and the typed 400/404 envelopes.

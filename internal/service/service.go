@@ -331,10 +331,15 @@ type lineage struct {
 // job belongs to, the canonical key of the chain predecessor whose
 // cached build warm-starts this solve, and whether the job must wait
 // (deferred, out of the heap) until that predecessor finalizes.
+// preadmitted marks a job whose admission was already charged by the
+// batch's atomic admitNLocked; enqueueLocked must not admit it again,
+// or each batch item would cost two tokens and the bucket could empty
+// mid-batch, orphaning the items enqueued before the failure.
 type chainLink struct {
-	batchID string
-	baseKey string
-	defer_  bool
+	batchID     string
+	baseKey     string
+	defer_      bool
+	preadmitted bool
 }
 
 // enqueueLocked creates and enqueues a job. Callers hold s.mu.
@@ -342,8 +347,10 @@ func (s *Service) enqueueLocked(ci *instance, orig *Request, ln *lineage, cl *ch
 	if s.closed {
 		return "", ErrClosed
 	}
-	if err := s.admitLocked(orig.Priority); err != nil {
-		return "", err
+	if cl == nil || !cl.preadmitted {
+		if err := s.admitLocked(orig.Priority); err != nil {
+			return "", err
+		}
 	}
 	s.seq++
 	j := &job{
